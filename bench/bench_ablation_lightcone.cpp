@@ -1,0 +1,70 @@
+// Ablation: light-cone (inverse-pair cancellation) reduction for
+// ideal-output amplitudes.
+//
+// Table IV's protocol evaluates <0|U^dag C'|0> where C' is the circuit with
+// noise-term insertions; outside the insertions' light cone U^dag cancels
+// against C'. This benchmark measures the level-1 engine with and without
+// the reduction -- the speedup is what makes the paper's level sweep on
+// qaoa_64 tractable.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_support/generators.hpp"
+#include "circuit/simplify.hpp"
+#include "core/approx.hpp"
+
+namespace {
+
+using namespace noisim;
+
+ch::NoisyCircuit make_projected(int n) {
+  const qc::Circuit circuit = bench::qaoa(n, 1, 88);
+  const ch::NoisyCircuit nc = bench::insert_noises(circuit, 6, bench::realistic_noise(), 89);
+  return core::with_ideal_output_projector(nc);
+}
+
+void run_level1(const ch::NoisyCircuit& projected, bool simplify, benchmark::State& state) {
+  core::ApproxOptions opts;
+  opts.level = 1;
+  opts.eval.simplify = simplify;
+  opts.eval.tn.max_tensor_elems = std::size_t{1} << 24;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::approximate_fidelity(projected, 0, 0, opts).value);
+  }
+}
+
+void BM_Level1_WithLightcone_Qaoa16(benchmark::State& state) {
+  run_level1(make_projected(16), true, state);
+}
+void BM_Level1_NoLightcone_Qaoa16(benchmark::State& state) {
+  run_level1(make_projected(16), false, state);
+}
+
+// Direct measurement of the reduction factor.
+void BM_CancelInversePairs_Qaoa36(benchmark::State& state) {
+  const ch::NoisyCircuit projected = make_projected(36);
+  // Build the tagged skeleton the engine sees.
+  std::vector<qc::Gate> gates;
+  for (const ch::Op& op : projected.ops()) {
+    if (const qc::Gate* g = std::get_if<qc::Gate>(&op))
+      gates.push_back(*g);
+    else
+      gates.push_back(qc::u1q(std::get<ch::NoiseOp>(op).qubit, la::Matrix{{2, 0}, {0, 3}}));
+  }
+  std::size_t reduced_size = 0;
+  for (auto _ : state) {
+    const auto reduced = qc::cancel_inverse_pairs(gates);
+    reduced_size = reduced.size();
+    benchmark::DoNotOptimize(reduced_size);
+  }
+  state.counters["gates_before"] = static_cast<double>(gates.size());
+  state.counters["gates_after"] = static_cast<double>(reduced_size);
+}
+
+BENCHMARK(BM_Level1_WithLightcone_Qaoa16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Level1_NoLightcone_Qaoa16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CancelInversePairs_Qaoa36)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Ablation: MPS truncation (the related-work approximation family [20-23])
+// vs. the paper's SVD-splitting approach on grid QAOA.
+//
+// MPS error comes from bond truncation and grows with circuit
+// entanglement; the paper's level-l error comes from noise-tensor
+// truncation and grows with the noise count/rate. This bench shows both
+// axes: amplitude error vs. chi for MPS, and the wall-time ratio against a
+// level-1 run at matched workload.
+
+#include <iostream>
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/approx.hpp"
+#include "mps/mps.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+using namespace noisim;
+}
+
+int main() {
+  bench::print_header("Ablation: MPS truncation vs SVD splitting", "related work [20-23]");
+
+  const int side = 4;  // 16 qubits: exact reference via statevector
+  const qc::Circuit circuit = bench::qaoa_grid(side, side, bench::large_mode() ? 2 : 1, 314);
+  std::cout << "circuit: " << side << "x" << side << " grid QAOA, " << circuit.size()
+            << " gates, depth " << circuit.depth() << "\n\n";
+
+  sim::Statevector sv(circuit.num_qubits());
+  sv.apply_circuit(circuit);
+
+  bench::Table table({"chi", "max |amp err|", "trunc weight", "time(s)"});
+  for (std::size_t chi : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    double err = 0.0, weight = 0.0;
+    const auto run = bench::run_guarded([&] {
+      mps::MpsState state(circuit.num_qubits(), {chi, 1e-14});
+      state.apply_circuit(circuit);
+      for (std::uint64_t b = 0; b < (1u << circuit.num_qubits()); b += 7)
+        err = std::max(err, std::abs(state.amplitude(b) - sv.amplitude(b)));
+      weight = state.truncation_weight();
+      return err;
+    });
+    table.add_row({std::to_string(chi), bench::sci(err), bench::sci(weight),
+                   bench::format_time(run)});
+  }
+  table.print(std::cout);
+
+  // Contrast: the paper's approach on the same circuit with 10 noises.
+  const ch::NoisyCircuit nc = bench::insert_noises(circuit, 10, bench::realistic_noise(), 315);
+  core::ApproxOptions opts;
+  opts.level = 1;
+  const auto ours = bench::run_guarded(
+      [&] { return core::approximate_fidelity(nc, 0, 0, opts).value; });
+  std::cout << "\nSVD-splitting level-1 on the same circuit + 10 noises: "
+            << bench::format_time(ours) << " s (error bounded by Theorem 1, "
+            << "independent of entanglement growth)\n"
+            << "MPS error grows with entanglement (depth); the split method's error\n"
+            << "grows with the noise count -- complementary approximation axes.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: contraction-order strategies (greedy vs. time-ordered
+// sequential) across the benchmark circuit families.
+//
+// DESIGN.md calls the contraction order out as a load-bearing design choice:
+// the TN-based methods' feasibility in Table II depends on it. This
+// micro-benchmark quantifies the gap on representative amplitude networks.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_support/generators.hpp"
+#include "core/circuit_network.hpp"
+#include "tn/contractor.hpp"
+
+namespace {
+
+using namespace noisim;
+
+void contract_amplitude(const qc::Circuit& c, tn::OrderStrategy strategy, benchmark::State& state) {
+  tn::ContractOptions opts;
+  opts.strategy = strategy;
+  opts.max_tensor_elems = std::size_t{1} << 24;
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    tn::ContractStats stats;
+    const tn::Network net = core::amplitude_network(c.num_qubits(), c.gates(), 0, 0);
+    try {
+      benchmark::DoNotOptimize(tn::contract_to_scalar(net, opts, &stats));
+    } catch (const MemoryOutError&) {
+      state.SkipWithError("MO");
+      return;
+    }
+    peak = std::max(peak, stats.peak_elems);
+  }
+  state.counters["peak_elems"] = static_cast<double>(peak);
+}
+
+void BM_Greedy_Qaoa36(benchmark::State& state) {
+  contract_amplitude(bench::qaoa(36, 1, 7), tn::OrderStrategy::Greedy, state);
+}
+void BM_Sequential_Qaoa36(benchmark::State& state) {
+  contract_amplitude(bench::qaoa(36, 1, 7), tn::OrderStrategy::Sequential, state);
+}
+void BM_Greedy_Hf8(benchmark::State& state) {
+  contract_amplitude(bench::hf_vqe(8, 3), tn::OrderStrategy::Greedy, state);
+}
+void BM_Sequential_Hf8(benchmark::State& state) {
+  contract_amplitude(bench::hf_vqe(8, 3), tn::OrderStrategy::Sequential, state);
+}
+void BM_Greedy_Inst4x4(benchmark::State& state) {
+  contract_amplitude(bench::supremacy_inst(4, 4, 12, 5), tn::OrderStrategy::Greedy, state);
+}
+void BM_Sequential_Inst4x4(benchmark::State& state) {
+  contract_amplitude(bench::supremacy_inst(4, 4, 12, 5), tn::OrderStrategy::Sequential, state);
+}
+
+BENCHMARK(BM_Greedy_Qaoa36)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sequential_Qaoa36)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Greedy_Hf8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sequential_Hf8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Greedy_Inst4x4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sequential_Inst4x4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

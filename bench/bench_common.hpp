@@ -1,0 +1,40 @@
+#pragma once
+// Shared plumbing for the paper-reproduction benchmark binaries.
+//
+// Every binary prints the corresponding paper table/figure at a laptop
+// scale by default and upgrades to paper-scale rows when the environment
+// variable NOISIM_BENCH_LARGE=1 is set. Timeout/memory guards mirror the
+// paper's TO/MO table entries (scaled down with the workload).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_support/generators.hpp"
+#include "bench_support/harness.hpp"
+
+namespace noisim::bench {
+
+inline bool large_mode() {
+  const char* v = std::getenv("NOISIM_BENCH_LARGE");
+  return v != nullptr && std::string(v) == "1";
+}
+
+/// Timeout for one guarded run, seconds (scaled from the paper's 3600 s).
+inline double timeout_small() { return large_mode() ? 600.0 : 15.0; }
+/// Timeout for the heavier #Noise = 20 runs (paper: 36000 s).
+inline double timeout_large() { return large_mode() ? 3600.0 : 60.0; }
+
+/// Memory budget for a single tensor intermediate (elements).
+inline std::size_t memory_budget() {
+  return large_mode() ? (std::size_t{1} << 28) : (std::size_t{1} << 24);
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "=== " << title << " ===\n"
+            << "(reproduces " << paper_ref << "; mode: "
+            << (large_mode() ? "LARGE (paper-scale)" : "default (laptop-scale)")
+            << ", set NOISIM_BENCH_LARGE=1 for paper-scale rows)\n\n";
+}
+
+}  // namespace noisim::bench

@@ -1,0 +1,48 @@
+// Fig. 5: number of samples (tensor network contractions) needed for the
+// same error bound -- our level-1 approximation vs. quantum trajectories.
+//
+// Model (Theorem 1 + the paper's calibration):
+//  * ours:          2 (1 + 3N) contractions, independent of p;
+//  * trajectories:  accuracy ~ 1/sqrt(r) => r = 1/eps with eps the exact
+//                   level-1 Theorem-1 bound (reproduces the paper's
+//                   magnitudes and its N ~= 26 crossover at p = 0.001);
+//  * a Hoeffding column (r = ln(2/delta)/(2 eps^2), 99% confidence) is
+//    printed alongside as the textbook-rigorous count.
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+
+namespace {
+using namespace noisim;
+}
+
+int main() {
+  bench::print_header("Fig. 5: sample number for the same error bound", "paper Fig. 5");
+
+  for (const double p : {0.001, 0.0001}) {
+    std::cout << "--- noise rate p = " << p << " ---\n";
+    bench::Table table({"N", "ours", "traj(calibrated)", "traj(Hoeffding99)", "eps(level-1)"});
+    std::vector<std::vector<std::string>> csv{{"N", "ours", "traj"}};
+    std::size_t crossover = 0;
+    for (std::size_t n = 10; n <= 40; n += 2) {
+      const double ours = core::contraction_count(n, 1);
+      const double traj = core::trajectories_samples_calibrated(n, p);
+      const double hoeff = core::trajectories_samples_hoeffding(n, p, 0.01);
+      const double eps = core::theorem1_error_bound(n, p, 1);
+      table.add_row({std::to_string(n), bench::fixed(ours, 0), bench::fixed(traj, 0),
+                     bench::sci(hoeff), bench::sci(eps)});
+      csv.push_back({std::to_string(n), bench::fixed(ours, 0), bench::fixed(traj, 0)});
+      if (crossover == 0 && ours > traj) crossover = n;
+    }
+    table.print(std::cout);
+    if (crossover != 0)
+      std::cout << "crossover: trajectories become cheaper at N ~= " << crossover
+                << " (paper: N ~= 26 at p = 0.001)\n";
+    else
+      std::cout << "no crossover in N = 10..40 (ours cheaper throughout, as in the paper)\n";
+    std::cout << "CSV:\n";
+    bench::write_csv(std::cout, csv);
+    std::cout << "\n";
+  }
+  return 0;
+}

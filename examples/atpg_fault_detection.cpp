@@ -1,0 +1,50 @@
+// ATPG-style fault detection -- the application the paper's conclusion
+// points at: use the approximation algorithm to grade test patterns for
+// detecting a decoherence fault in a manufactured circuit.
+//
+// Build & run:  ./build/examples/atpg_fault_detection
+
+#include <iostream>
+#include <random>
+
+#include "bench_support/generators.hpp"
+#include "bench_support/harness.hpp"
+#include "channels/catalog.hpp"
+#include "core/atpg.hpp"
+
+int main() {
+  using namespace noisim;
+
+  // Device under test: an 8-qubit HF-VQE ansatz with a single strong
+  // amplitude-damping fault after its 20th gate.
+  const qc::Circuit circuit = bench::hf_vqe(8, 5);
+  ch::NoisyCircuit faulty(circuit.num_qubits());
+  const auto& gates = circuit.gates();
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    faulty.add_gate(gates[i]);
+    if (i == 20) faulty.add_noise(gates[i].qubits[0], ch::amplitude_damping(0.25));
+  }
+  std::cout << "device: hf_8 (" << circuit.size() << " gates), fault: amplitude damping "
+            << "gamma=0.25 after gate 20 (qubit " << gates[20].qubits[0] << ")\n\n";
+
+  // Candidate test patterns: the all-zeros pattern plus random basis states.
+  std::vector<std::uint64_t> candidates{0};
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint64_t> pick(0, (1u << circuit.num_qubits()) - 1);
+  for (int i = 0; i < 15; ++i) candidates.push_back(pick(rng));
+
+  core::ApproxOptions opts;
+  opts.level = 1;
+  const core::TestPatternResult result = core::best_test_pattern(faulty, candidates, opts);
+
+  bench::Table table({"pattern", "detection prob"});
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    table.add_row({std::to_string(candidates[i]), bench::fixed(result.all[i], 4)});
+  table.print(std::cout);
+
+  std::cout << "\nbest test pattern: |" << result.pattern << ">  detects the fault with "
+            << "probability " << bench::fixed(result.detection_probability, 4) << "\n"
+            << "(patterns that leave the faulty qubit's orbital unoccupied barely\n"
+            << "excite the fault; occupied patterns detect the decay directly)\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fidelity study of a hardware-grid QAOA circuit under realistic
+// superconducting decoherence -- the NISQ-era question the paper's intro
+// motivates: "how faithful is the output my algorithm would produce on
+// today's hardware?"
+//
+// The expected output |v> = U|0..0> is folded into the circuit as the
+// adjoint projector, so the level-1 split networks collapse to the noise
+// light cones and the 36-qubit sweep runs in seconds.
+//
+// Build & run:  ./build/examples/qaoa_fidelity_study
+
+#include <iostream>
+
+#include "bench_support/generators.hpp"
+#include "bench_support/harness.hpp"
+#include "core/approx.hpp"
+#include "core/bounds.hpp"
+
+int main() {
+  using namespace noisim;
+
+  const int side = 6;  // 6x6 = 36-qubit hardware grid
+  const qc::Circuit circuit = bench::qaoa_grid(side, side, 1, 2024);
+  std::cout << "hardware-grid QAOA, " << side * side << " qubits, " << circuit.size()
+            << " gates, depth " << circuit.depth() << "\n"
+            << "noise model: thermal relaxation (T1/T2 decoherence), rate ~7e-3\n\n";
+
+  bench::Table table({"#noises", "fidelity (level-1)", "thm1 bound", "time(s)"});
+  for (std::size_t noises : {2u, 5u, 10u, 15u, 20u}) {
+    const ch::NoisyCircuit nc =
+        bench::insert_noises(circuit, noises, bench::realistic_noise(7e-3), 77 + noises);
+    const ch::NoisyCircuit projected = core::with_ideal_output_projector(nc);
+
+    core::ApproxOptions opts;
+    opts.level = 1;
+    opts.eval.simplify = true;  // light-cone reduction around the noise sites
+    const auto run = bench::run_guarded(
+        [&] { return core::approximate_fidelity(projected, 0, 0, opts).value; });
+
+    table.add_row({std::to_string(noises), run.ok() ? bench::fixed(run.value, 6) : "-",
+                   bench::sci(core::theorem1_error_bound(noises, 8e-3 * 1.25, 1)),
+                   bench::format_time(run)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEach additional decoherence site multiplies the circuit fidelity by\n"
+            << "roughly the per-noise dominant singular weight -- watch it decay.\n";
+  return 0;
+}

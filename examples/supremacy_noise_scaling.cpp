@@ -1,0 +1,50 @@
+// How noise degrades a random supremacy-style circuit: exact doubled-diagram
+// contraction of inst_4x4 under a growing number of decoherence sites, plus
+// the point where the exact method gives out and the approximation takes
+// over -- the workload class Google's quantum-supremacy experiments made
+// famous and the paper's hardest benchmark family.
+//
+// Build & run:  ./build/examples/supremacy_noise_scaling
+
+#include <iostream>
+
+#include "bench_support/generators.hpp"
+#include "bench_support/harness.hpp"
+#include "core/approx.hpp"
+#include "core/doubled_network.hpp"
+
+int main() {
+  using namespace noisim;
+
+  const qc::Circuit circuit = bench::supremacy_inst(4, 4, 12, 99);
+  std::cout << "inst_4x4_12 random circuit: " << circuit.num_qubits() << " qubits, "
+            << circuit.size() << " gates, depth " << circuit.depth() << "\n"
+            << "output amplitude probed: <0..0|E(|0..0><0..0|)|0..0>\n\n";
+
+  bench::Table table({"#noises", "exact TN", "t_exact(s)", "ours lvl-1", "t_ours(s)"});
+  for (std::size_t noises : {0u, 4u, 8u, 16u, 32u}) {
+    const std::size_t count = std::min<std::size_t>(noises, circuit.size());
+    const ch::NoisyCircuit nc =
+        bench::insert_noises(circuit, count, bench::realistic_noise(7e-3), 5 + noises);
+
+    tn::ContractOptions topts;
+    topts.max_tensor_elems = std::size_t{1} << 24;
+    topts.timeout_seconds = 60.0;
+    const auto exact =
+        bench::run_guarded([&] { return core::exact_fidelity_tn(nc, 0, 0, topts); });
+
+    core::ApproxOptions aopts;
+    aopts.level = 1;
+    aopts.eval.tn = topts;
+    const auto ours = bench::run_guarded(
+        [&] { return core::approximate_fidelity(nc, 0, 0, aopts).value; });
+
+    table.add_row({std::to_string(count), bench::format_value(exact),
+                   bench::format_time(exact), bench::format_value(ours),
+                   bench::format_time(ours)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe exact doubled diagram inflates with every noise coupling; the\n"
+            << "level-1 approximation contracts single-layer networks throughout.\n";
+  return 0;
+}

@@ -1,0 +1,193 @@
+#include "bench_support/generators.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "channels/catalog.hpp"
+
+namespace noisim::bench {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+int grid_qubit(int r, int c, int cols) { return r * cols + c; }
+
+}  // namespace
+
+qc::Circuit qaoa_grid(int rows, int cols, int rounds, std::uint64_t seed) {
+  la::detail::require(rows > 0 && cols > 0 && rounds > 0, "qaoa_grid: bad dimensions");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> angle(0.1, 2.0 * kPi - 0.1);
+
+  qc::Circuit c(rows * cols);
+  for (int q = 0; q < rows * cols; ++q) {
+    c.add(qc::ry(q, -kPi / 2));
+    c.add(qc::rz(q, kPi / 2));
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // Four staggered edge orientations: horizontal even/odd column, then
+    // vertical even/odd row -- every grid edge exactly once per round.
+    for (int orientation = 0; orientation < 4; ++orientation) {
+      const bool horizontal = orientation < 2;
+      const int offset = orientation % 2;
+      for (int r = 0; r < rows; ++r) {
+        for (int cc = 0; cc < cols; ++cc) {
+          // exp(-i gamma Z(x)Z / 2) via the standard CX - RZ - CX sandwich
+          // (note: a CZ sandwich would commute through the diagonal RZ and
+          // cancel -- the interaction must use CX).
+          if (horizontal) {
+            if (cc % 2 != offset || cc + 1 >= cols) continue;
+            const int a = grid_qubit(r, cc, cols), b = grid_qubit(r, cc + 1, cols);
+            c.add(qc::cx(a, b));
+            c.add(qc::rz(b, angle(rng)));
+            c.add(qc::cx(a, b));
+          } else {
+            if (r % 2 != offset || r + 1 >= rows) continue;
+            const int a = grid_qubit(r, cc, cols), b = grid_qubit(r + 1, cc, cols);
+            c.add(qc::cx(a, b));
+            c.add(qc::rz(b, angle(rng)));
+            c.add(qc::cx(a, b));
+          }
+        }
+      }
+    }
+    const double beta = angle(rng);
+    for (int q = 0; q < rows * cols; ++q) c.add(qc::rx(q, beta));
+  }
+  return c;
+}
+
+qc::Circuit qaoa(int n, int rounds, std::uint64_t seed) {
+  const int side = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
+  la::detail::require(side * side == n, "qaoa: n must be a perfect square");
+  return qaoa_grid(side, side, rounds, seed);
+}
+
+qc::Circuit hf_vqe(int n, std::uint64_t seed) {
+  la::detail::require(n >= 2, "hf_vqe: need at least 2 qubits");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> angle(-kPi / 2, kPi / 2);
+
+  qc::Circuit c(n);
+  // Occupation preparation: fill the first n/2 orbitals.
+  for (int q = 0; q < n / 2; ++q) c.add(qc::x(q));
+
+  // Triangular Givens-rotation network of a basis rotation: brickwork of
+  // nearest-neighbour rotations, n layers alternating even/odd pairings.
+  for (int layer = 0; layer < n; ++layer) {
+    for (int a = layer % 2; a + 1 < n; a += 2) {
+      c.add(qc::givens(a, a + 1, angle(rng)));
+      c.add(qc::rz(a + 1, angle(rng)));  // phased-Givens phase freedom
+    }
+  }
+  return c;
+}
+
+qc::Circuit supremacy_inst(int rows, int cols, int depth, std::uint64_t seed) {
+  la::detail::require(rows > 0 && cols > 0 && depth >= 1, "supremacy_inst: bad dimensions");
+  std::mt19937_64 rng(seed);
+  const int n = rows * cols;
+
+  qc::Circuit c(n);
+  for (int q = 0; q < n; ++q) c.add(qc::h(q));
+
+  // Per-qubit single-qubit-gate history: 0 = none yet, 1 = T, 2 = sqrtX,
+  // 3 = sqrtY.
+  std::vector<int> last_1q(static_cast<std::size_t>(n), 0);
+  std::vector<bool> in_prev_cz(static_cast<std::size_t>(n), false);
+
+  std::uniform_int_distribution<int> pick(2, 3);
+  for (int layer = 1; layer < depth; ++layer) {
+    // Staggered CZ pattern: orientation and offsets cycle with period 8.
+    const int m = (layer - 1) % 8;
+    const bool horizontal = (m % 4) < 2;
+    const int offset = m % 2;
+    const int stagger = (m / 4) % 2;
+
+    std::vector<bool> in_cz(static_cast<std::size_t>(n), false);
+    for (int r = 0; r < rows; ++r) {
+      for (int cc = 0; cc < cols; ++cc) {
+        if (horizontal) {
+          if ((cc + (r % 2 == stagger ? 1 : 0)) % 2 != offset || cc + 1 >= cols) continue;
+          const int a = grid_qubit(r, cc, cols), b = grid_qubit(r, cc + 1, cols);
+          c.add(qc::cz(a, b));
+          in_cz[static_cast<std::size_t>(a)] = in_cz[static_cast<std::size_t>(b)] = true;
+        } else {
+          if ((r + (cc % 2 == stagger ? 1 : 0)) % 2 != offset || r + 1 >= rows) continue;
+          const int a = grid_qubit(r, cc, cols), b = grid_qubit(r + 1, cc, cols);
+          c.add(qc::cz(a, b));
+          in_cz[static_cast<std::size_t>(a)] = in_cz[static_cast<std::size_t>(b)] = true;
+        }
+      }
+    }
+
+    // Single-qubit gates on qubits that just left a CZ and are idle now.
+    for (int q = 0; q < n; ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      if (in_cz[qi] || !in_prev_cz[qi]) continue;
+      int gate;
+      if (last_1q[qi] == 0) {
+        gate = 1;  // first single-qubit gate is always T
+      } else {
+        gate = pick(rng);
+        if (gate == last_1q[qi]) gate = (gate == 2) ? 3 : 2;  // no repeats
+      }
+      switch (gate) {
+        case 1: c.add(qc::t(q)); break;
+        case 2: c.add(qc::sqrt_x(q)); break;
+        default: c.add(qc::sqrt_y(q)); break;
+      }
+      last_1q[qi] = gate;
+    }
+    in_prev_cz = in_cz;
+  }
+  return c;
+}
+
+NoiseModel realistic_noise(double mean_rate) {
+  la::detail::require(mean_rate > 0.0 && mean_rate < 0.5, "realistic_noise: bad rate");
+  return [mean_rate](std::mt19937_64& rng) {
+    // Thermal relaxation with T2 = 1.2 * T1 and gate duration jittered
+    // +-25% around the value that yields roughly `mean_rate`.
+    std::uniform_real_distribution<double> jitter(0.75, 1.25);
+    const double t1 = 1.0;
+    const double t = mean_rate * jitter(rng);
+    return ch::thermal_relaxation(t, t1, 1.2 * t1);
+  };
+}
+
+NoiseModel depolarizing_noise(double p) {
+  return [p](std::mt19937_64&) { return ch::depolarizing(p); };
+}
+
+ch::NoisyCircuit insert_noises(const qc::Circuit& c, std::size_t count, const NoiseModel& model,
+                               std::uint64_t seed) {
+  la::detail::require(count <= c.size(), "insert_noises: more noises than gates");
+  std::mt19937_64 rng(seed);
+
+  // Sample `count` distinct gate positions (partial Fisher-Yates).
+  std::vector<std::size_t> positions(c.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(i, positions.size() - 1);
+    std::swap(positions[i], positions[pick(rng)]);
+  }
+  std::vector<bool> noisy(c.size(), false);
+  for (std::size_t i = 0; i < count; ++i) noisy[positions[i]] = true;
+
+  ch::NoisyCircuit nc(c.num_qubits());
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const qc::Gate& g = c.gates()[i];
+    nc.add_gate(g);
+    if (noisy[i]) {
+      const int qubit = (g.num_qubits() == 2 && coin(rng)) ? g.qubits[1] : g.qubits[0];
+      nc.add_noise(qubit, model(rng));
+    }
+  }
+  return nc;
+}
+
+}  // namespace noisim::bench

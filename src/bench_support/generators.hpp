@@ -1,0 +1,60 @@
+#pragma once
+// Benchmark circuit families (stand-ins for the paper's ReCirq circuits)
+// and noise injection.
+//
+// The paper evaluates on three circuit families taken from ReCirq:
+//  * qaoa_N    -- hardware-grid QAOA; N in {64, 121, 225} are all perfect
+//                 squares, i.e. sqrt(N) x sqrt(N) grids (Fig. 1 pattern);
+//  * hf_N      -- Hartree-Fock VQE basis-rotation (Givens) networks;
+//  * inst_RxC_D -- random circuits from the quantum supremacy experiments
+//                 (Boixo et al. staggered CZ patterns).
+// The generators below produce the same structures with seeded random
+// parameters; gate counts are within a small factor of the paper's Table II
+// rows (see DESIGN.md for the substitution note).
+
+#include <cstdint>
+#include <functional>
+#include <random>
+
+#include "channels/noisy_circuit.hpp"
+#include "circuit/circuit.hpp"
+
+namespace noisim::bench {
+
+/// Hardware-grid QAOA on rows x cols qubits (Fig. 1 pattern): an initial
+/// RY(-pi/2) RZ(pi/2) layer, then per round the ZZ interaction CZ-RZ-CZ on
+/// every grid edge (4 staggered orientations) followed by an RX mixer layer.
+/// Angles are seeded pseudo-random.
+qc::Circuit qaoa_grid(int rows, int cols, int rounds, std::uint64_t seed);
+
+/// qaoa_N on a sqrt(N) x sqrt(N) grid (N must be a perfect square).
+qc::Circuit qaoa(int n, int rounds, std::uint64_t seed);
+
+/// Hartree-Fock VQE ansatz on n qubits with n/2 occupied orbitals: an X
+/// preparation layer followed by the triangular Givens-rotation network of
+/// a basis rotation (n(n-1)/2 Givens, each with a trailing RZ phase).
+qc::Circuit hf_vqe(int n, std::uint64_t seed);
+
+/// Supremacy-style random circuit on a rows x cols grid with `depth` clock
+/// layers: H everywhere, then staggered CZ patterns with single-qubit gates
+/// from {T, sqrt(X), sqrt(Y)} under the usual rules (first 1q gate is T, no
+/// immediate repetition, only on qubits idle in the current CZ layer).
+qc::Circuit supremacy_inst(int rows, int cols, int depth, std::uint64_t seed);
+
+/// A noise model draws a fresh channel per insertion site.
+using NoiseModel = std::function<ch::Channel(std::mt19937_64&)>;
+
+/// The realistic superconducting decoherence model [31]: thermal relaxation
+/// with gate duration jittered around `mean_rate` (approximate noise rate).
+NoiseModel realistic_noise(double mean_rate = 7e-3);
+
+/// Depolarizing model with fixed probability p (noise rate 4p/3).
+NoiseModel depolarizing_noise(double p);
+
+/// Append `count` channels drawn from `model` after distinct uniformly
+/// chosen gates (each on a random qubit of that gate), like the paper's
+/// fault-injection procedure.
+ch::NoisyCircuit insert_noises(const qc::Circuit& c, std::size_t count, const NoiseModel& model,
+                               std::uint64_t seed);
+
+}  // namespace noisim::bench

@@ -1,0 +1,89 @@
+#include "bench_support/harness.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+#include "linalg/complex.hpp"
+
+namespace noisim::bench {
+
+RunOutcome run_guarded(const std::function<double()>& fn) {
+  using Clock = std::chrono::steady_clock;
+  RunOutcome out;
+  const auto start = Clock::now();
+  try {
+    out.value = fn();
+    out.status = RunOutcome::Status::Ok;
+  } catch (const MemoryOutError& e) {
+    out.status = RunOutcome::Status::MemoryOut;
+    out.note = e.what();
+  } catch (const TimeoutError& e) {
+    out.status = RunOutcome::Status::Timeout;
+    out.note = e.what();
+  }
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+namespace {
+std::string status_label(const RunOutcome& r) {
+  switch (r.status) {
+    case RunOutcome::Status::MemoryOut: return "MO";
+    case RunOutcome::Status::Timeout: return "TO";
+    case RunOutcome::Status::Skipped: return "-";
+    case RunOutcome::Status::Ok: return "";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+std::string fixed(double v, int digits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string format_time(const RunOutcome& r) { return r.ok() ? fixed(r.seconds) : status_label(r); }
+
+std::string format_value(const RunOutcome& r) { return r.ok() ? sci(r.value) : status_label(r); }
+
+Table::Table(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+void Table::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width;
+  for (const auto& row : rows_) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) width[i] = std::max(width[i], row[i].size());
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+      std::string cell = rows_[r][i];
+      cell.resize(width[i], ' ');
+      os << cell << (i + 1 < rows_[r].size() ? "  " : "");
+    }
+    os << "\n";
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t w : width) total += w + 2;
+      os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    }
+  }
+}
+
+void write_csv(std::ostream& os, const std::vector<std::vector<std::string>>& rows) {
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) os << row[i] << (i + 1 < row.size() ? "," : "");
+    os << "\n";
+  }
+}
+
+}  // namespace noisim::bench

@@ -1,0 +1,47 @@
+#pragma once
+// Experiment harness: guarded runs (wall-clock timing, MO/TO mapping) and
+// aligned table printing in the style of the paper's Tables II-IV.
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace noisim::bench {
+
+struct RunOutcome {
+  enum class Status { Ok, MemoryOut, Timeout, Skipped };
+  Status status = Status::Skipped;
+  double seconds = 0.0;
+  double value = 0.0;       // the computed fidelity / estimate when Ok
+  std::string note;         // diagnostic (exception text)
+
+  bool ok() const { return status == Status::Ok; }
+};
+
+/// Run `fn`, timing it and mapping MemoryOutError -> MO, TimeoutError -> TO.
+RunOutcome run_guarded(const std::function<double()>& fn);
+
+/// "12.34" for Ok (seconds), "MO" / "TO" / "-" otherwise.
+std::string format_time(const RunOutcome& r);
+/// Scientific-notation value ("1.55e-04") for Ok, "MO"/"TO"/"-" otherwise.
+std::string format_value(const RunOutcome& r);
+/// Format a double in the paper's precision style.
+std::string sci(double v);
+std::string fixed(double v, int digits = 2);
+
+/// Minimal aligned-column table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Write rows as CSV next to the pretty table (for plotting).
+void write_csv(std::ostream& os, const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace noisim::bench

@@ -1,0 +1,133 @@
+#include "channels/catalog.hpp"
+
+#include <cmath>
+
+namespace noisim::ch {
+
+namespace {
+
+constexpr cplx kI{0.0, 1.0};
+
+la::Matrix pauli_x() { return la::Matrix{{0, 1}, {1, 0}}; }
+la::Matrix pauli_y() { return la::Matrix{{0, -kI}, {kI, 0}}; }
+la::Matrix pauli_z() { return la::Matrix{{1, 0}, {0, -1}}; }
+
+void require_prob(double p, const char* what) {
+  la::detail::require(p >= 0.0 && p <= 1.0, what);
+}
+
+}  // namespace
+
+Channel depolarizing(double p) {
+  require_prob(p, "depolarizing: p must be in [0,1]");
+  la::Matrix e0 = la::Matrix::identity(2);
+  e0 *= std::sqrt(1.0 - p);
+  la::Matrix ex = pauli_x(), ey = pauli_y(), ez = pauli_z();
+  const double w = std::sqrt(p / 3.0);
+  ex *= w;
+  ey *= w;
+  ez *= w;
+  return Channel("depolarizing(" + std::to_string(p) + ")", {e0, ex, ey, ez});
+}
+
+Channel bit_flip(double p) {
+  require_prob(p, "bit_flip: p must be in [0,1]");
+  la::Matrix e0 = la::Matrix::identity(2);
+  e0 *= std::sqrt(1.0 - p);
+  la::Matrix e1 = pauli_x();
+  e1 *= std::sqrt(p);
+  return Channel("bit_flip(" + std::to_string(p) + ")", {e0, e1});
+}
+
+Channel phase_flip(double p) {
+  require_prob(p, "phase_flip: p must be in [0,1]");
+  la::Matrix e0 = la::Matrix::identity(2);
+  e0 *= std::sqrt(1.0 - p);
+  la::Matrix e1 = pauli_z();
+  e1 *= std::sqrt(p);
+  return Channel("phase_flip(" + std::to_string(p) + ")", {e0, e1});
+}
+
+Channel bit_phase_flip(double p) {
+  require_prob(p, "bit_phase_flip: p must be in [0,1]");
+  la::Matrix e0 = la::Matrix::identity(2);
+  e0 *= std::sqrt(1.0 - p);
+  la::Matrix e1 = pauli_y();
+  e1 *= std::sqrt(p);
+  return Channel("bit_phase_flip(" + std::to_string(p) + ")", {e0, e1});
+}
+
+Channel pauli_channel(double px, double py, double pz) {
+  require_prob(px, "pauli_channel: px must be in [0,1]");
+  require_prob(py, "pauli_channel: py must be in [0,1]");
+  require_prob(pz, "pauli_channel: pz must be in [0,1]");
+  const double p0 = 1.0 - px - py - pz;
+  la::detail::require(p0 >= -1e-12, "pauli_channel: probabilities exceed 1");
+  la::Matrix e0 = la::Matrix::identity(2);
+  e0 *= std::sqrt(std::max(0.0, p0));
+  la::Matrix ex = pauli_x(), ey = pauli_y(), ez = pauli_z();
+  ex *= std::sqrt(px);
+  ey *= std::sqrt(py);
+  ez *= std::sqrt(pz);
+  return Channel("pauli", {e0, ex, ey, ez});
+}
+
+Channel amplitude_damping(double gamma) {
+  require_prob(gamma, "amplitude_damping: gamma must be in [0,1]");
+  const la::Matrix e0{{1, 0}, {0, std::sqrt(1.0 - gamma)}};
+  const la::Matrix e1{{0, std::sqrt(gamma)}, {0, 0}};
+  return Channel("amplitude_damping(" + std::to_string(gamma) + ")", {e0, e1});
+}
+
+Channel generalized_amplitude_damping(double gamma, double p1) {
+  require_prob(gamma, "generalized_amplitude_damping: gamma must be in [0,1]");
+  require_prob(p1, "generalized_amplitude_damping: p1 must be in [0,1]");
+  const double sg = std::sqrt(1.0 - gamma);
+  la::Matrix e0{{1, 0}, {0, sg}};
+  la::Matrix e1{{0, std::sqrt(gamma)}, {0, 0}};
+  la::Matrix e2{{sg, 0}, {0, 1}};
+  la::Matrix e3{{0, 0}, {std::sqrt(gamma), 0}};
+  const double w_cool = std::sqrt(1.0 - p1), w_heat = std::sqrt(p1);
+  e0 *= w_cool;
+  e1 *= w_cool;
+  e2 *= w_heat;
+  e3 *= w_heat;
+  return Channel("generalized_amplitude_damping", {e0, e1, e2, e3});
+}
+
+Channel phase_damping(double lambda) {
+  require_prob(lambda, "phase_damping: lambda must be in [0,1]");
+  const la::Matrix e0{{1, 0}, {0, std::sqrt(1.0 - lambda)}};
+  const la::Matrix e1{{0, 0}, {0, std::sqrt(lambda)}};
+  return Channel("phase_damping(" + std::to_string(lambda) + ")", {e0, e1});
+}
+
+Channel thermal_relaxation(double t, double t1, double t2) {
+  la::detail::require(t >= 0.0 && t1 > 0.0 && t2 > 0.0, "thermal_relaxation: bad times");
+  la::detail::require(t2 <= 2.0 * t1 + 1e-12, "thermal_relaxation: requires T2 <= 2*T1");
+  const double gamma = 1.0 - std::exp(-t / t1);
+  // Amplitude damping already dephases by exp(-t/(2 T1)); pure dephasing
+  // supplies the remainder so the total off-diagonal decay is exp(-t/T2).
+  const double extra = 1.0 / t2 - 1.0 / (2.0 * t1);
+  const double lambda = 1.0 - std::exp(-2.0 * t * std::max(0.0, extra));
+  Channel combined = compose(phase_damping(lambda), amplitude_damping(gamma));
+  return Channel("thermal_relaxation(t=" + std::to_string(t) + ")", combined.kraus());
+}
+
+Channel identity_channel() { return Channel("identity", {la::Matrix::identity(2)}); }
+
+Channel two_qubit_depolarizing(double p) {
+  require_prob(p, "two_qubit_depolarizing: p must be in [0,1]");
+  const la::Matrix paulis[4] = {la::Matrix::identity(2), pauli_x(), pauli_y(), pauli_z()};
+  std::vector<la::Matrix> kraus;
+  kraus.reserve(16);
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b) {
+      la::Matrix k = la::kron(paulis[a], paulis[b]);
+      k *= std::sqrt(a == 0 && b == 0 ? 1.0 - p : p / 15.0);
+      kraus.push_back(std::move(k));
+    }
+  return Channel("two_qubit_depolarizing(" + std::to_string(p) + ")", std::move(kraus));
+}
+
+}  // namespace noisim::ch

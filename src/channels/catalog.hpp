@@ -1,0 +1,51 @@
+#pragma once
+// Catalog of standard 1-qubit noise channels.
+//
+// The paper's experiments use two fault models:
+//  * a "realistic decoherence noise model of superconducting quantum
+//    circuits" [31] -- thermal relaxation combining amplitude damping (T1)
+//    and pure dephasing (T2), parameterized by the gate duration; and
+//  * the depolarizing channel (analytical experiments, Fig 6 right).
+// Everything else here exists for tests and for users of the library.
+
+#include "channels/channel.hpp"
+
+namespace noisim::ch {
+
+/// E(rho) = (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z).
+/// Note: with the paper's definitions the noise rate of this channel is
+/// exactly 4p/3 (the paper's prose says 2p; see DESIGN.md).
+Channel depolarizing(double p);
+
+/// E(rho) = (1-p) rho + p X rho X.
+Channel bit_flip(double p);
+/// E(rho) = (1-p) rho + p Z rho Z.
+Channel phase_flip(double p);
+/// E(rho) = (1-p) rho + p Y rho Y.
+Channel bit_phase_flip(double p);
+/// General Pauli channel with probabilities (px, py, pz).
+Channel pauli_channel(double px, double py, double pz);
+
+/// Amplitude damping with decay probability gamma in [0, 1].
+Channel amplitude_damping(double gamma);
+/// Amplitude damping towards a thermal state with excited population p1.
+Channel generalized_amplitude_damping(double gamma, double p1);
+/// Phase damping with parameter lambda in [0, 1].
+Channel phase_damping(double lambda);
+
+/// Thermal relaxation for a gate of duration t against relaxation times
+/// T1 (amplitude damping) and T2 (total dephasing), requiring T2 <= 2*T1.
+/// This is the realistic superconducting decoherence model of [31]:
+/// amplitude damping gamma = 1 - exp(-t/T1) composed with the pure
+/// dephasing that brings the total off-diagonal decay to exp(-t/T2).
+Channel thermal_relaxation(double t, double t1, double t2);
+
+/// The identity channel (useful as a zero-noise control).
+Channel identity_channel();
+
+/// Correlated two-qubit depolarizing channel (this library's 2-qubit noise
+/// extension): E(rho) = (1-p) rho + p/15 sum_{P != I(x)I} P rho P over the
+/// 15 non-identity two-qubit Pauli operators.
+Channel two_qubit_depolarizing(double p);
+
+}  // namespace noisim::ch

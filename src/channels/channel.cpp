@@ -1,0 +1,102 @@
+#include "channels/channel.hpp"
+
+#include <cmath>
+
+#include "linalg/svd.hpp"
+
+namespace noisim::ch {
+
+Channel::Channel(std::string name, std::vector<la::Matrix> kraus, double tol)
+    : name_(std::move(name)), kraus_(std::move(kraus)) {
+  la::detail::require(!kraus_.empty(), "Channel: empty Kraus set");
+  dim_ = kraus_.front().rows();
+  la::detail::require(dim_ > 0, "Channel: zero-dimensional Kraus operator");
+  for (const la::Matrix& k : kraus_)
+    la::detail::require(k.rows() == dim_ && k.cols() == dim_,
+                        "Channel: Kraus operators must be square and same-dimensional");
+  if (tol > 0.0) {
+    const double defect = completeness_defect();
+    if (defect > tol)
+      la::detail::fail("Channel '" + name_ + "': Kraus completeness defect " +
+                       std::to_string(defect));
+  }
+}
+
+std::size_t Channel::num_qubits() const {
+  std::size_t n = 0, d = dim_;
+  while (d > 1) {
+    la::detail::require(d % 2 == 0, "Channel: dimension is not a power of two");
+    d /= 2;
+    ++n;
+  }
+  return n;
+}
+
+la::Matrix Channel::apply(const la::Matrix& rho) const {
+  la::detail::require(rho.rows() == dim_ && rho.cols() == dim_, "Channel::apply: shape mismatch");
+  la::Matrix out(dim_, dim_);
+  for (const la::Matrix& k : kraus_) out += k * rho * k.adjoint();
+  return out;
+}
+
+la::Matrix Channel::superoperator() const {
+  la::Matrix m(dim_ * dim_, dim_ * dim_);
+  for (const la::Matrix& k : kraus_) m += la::kron(k, k.conj());
+  return m;
+}
+
+double Channel::noise_rate() const {
+  la::Matrix m = superoperator();
+  m -= la::Matrix::identity(dim_ * dim_);
+  return la::spectral_norm(m);
+}
+
+la::Matrix Channel::choi() const {
+  la::Matrix c(dim_ * dim_, dim_ * dim_);
+  for (const la::Matrix& k : kraus_) {
+    const la::Vector v = la::vec(k);
+    c += la::Matrix::outer(v, v);
+  }
+  return c;
+}
+
+double Channel::completeness_defect() const {
+  la::Matrix s(dim_, dim_);
+  for (const la::Matrix& k : kraus_) s += k.adjoint() * k;
+  s -= la::Matrix::identity(dim_);
+  return la::spectral_norm(s);
+}
+
+std::optional<UnitaryMixture> Channel::unitary_mixture(double tol) const {
+  UnitaryMixture mix;
+  for (const la::Matrix& k : kraus_) {
+    // E^dag E = p I  <=>  E = sqrt(p) U.
+    const la::Matrix g = k.adjoint() * k;
+    const double p = g.trace().real() / static_cast<double>(dim_);
+    la::Matrix defect = g;
+    defect -= p * la::Matrix::identity(dim_);
+    if (la::spectral_norm(defect) > tol) return std::nullopt;
+    if (p <= tol) continue;  // vanishing Kraus term contributes nothing
+    la::Matrix u = k;
+    u *= 1.0 / std::sqrt(p);
+    mix.probs.push_back(p);
+    mix.unitaries.push_back(std::move(u));
+  }
+  return mix;
+}
+
+Channel unitary_channel(const la::Matrix& u, std::string name) {
+  la::detail::require(u.is_unitary(1e-9), "unitary_channel: matrix is not unitary");
+  return Channel(std::move(name), {u});
+}
+
+Channel compose(const Channel& second, const Channel& first) {
+  la::detail::require(second.dim() == first.dim(), "compose: dimension mismatch");
+  std::vector<la::Matrix> kraus;
+  kraus.reserve(second.kraus().size() * first.kraus().size());
+  for (const la::Matrix& a : second.kraus())
+    for (const la::Matrix& b : first.kraus()) kraus.push_back(a * b);
+  return Channel(second.name() + "." + first.name(), std::move(kraus));
+}
+
+}  // namespace noisim::ch

@@ -1,0 +1,69 @@
+#pragma once
+// Quantum channels in Kraus form: E(rho) = sum_k E_k rho E_k^dagger.
+//
+// The paper manipulates channels through their superoperator matrix
+// M_E = sum_k E_k (x) E_k^*, and defines the *noise rate* of E as
+// ||M_E - I||_2 (spectral norm). Both live here.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace noisim::ch {
+
+/// Decomposition of a channel into a probabilistic mixture of unitaries;
+/// available iff every Kraus operator is proportional to a unitary. The
+/// TN-based quantum-trajectories baseline requires this form.
+struct UnitaryMixture {
+  std::vector<double> probs;
+  std::vector<la::Matrix> unitaries;
+};
+
+class Channel {
+ public:
+  /// Construct from Kraus operators (all square, same dimension).
+  /// Completeness (sum E^dag E = I) is validated to `tol` unless the channel
+  /// is explicitly marked non-CPTP (used only in adversarial tests).
+  Channel(std::string name, std::vector<la::Matrix> kraus, double tol = 1e-9);
+
+  const std::string& name() const { return name_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t num_qubits() const;
+  const std::vector<la::Matrix>& kraus() const { return kraus_; }
+
+  /// rho -> sum_k E_k rho E_k^dagger.
+  la::Matrix apply(const la::Matrix& rho) const;
+
+  /// Superoperator matrix M_E = sum_k E_k (x) conj(E_k) of size dim^2.
+  /// Acts on row-major vec(rho): vec(E(rho)) = M_E vec(rho).
+  la::Matrix superoperator() const;
+
+  /// The paper's noise rate ||M_E - I||_2.
+  double noise_rate() const;
+
+  /// Choi matrix sum_k vec(E_k) vec(E_k)^dagger (PSD iff completely positive;
+  /// automatic for Kraus form, used as a numeric sanity check).
+  la::Matrix choi() const;
+
+  /// Kraus completeness defect ||sum E^dag E - I||_2.
+  double completeness_defect() const;
+
+  /// Mixture-of-unitaries form if one exists (E_k = sqrt(p_k) U_k).
+  std::optional<UnitaryMixture> unitary_mixture(double tol = 1e-9) const;
+
+ private:
+  std::string name_;
+  std::size_t dim_;
+  std::vector<la::Matrix> kraus_;
+};
+
+/// The unitary channel rho -> U rho U^dagger.
+Channel unitary_channel(const la::Matrix& u, std::string name = "unitary");
+
+/// Composition: (second . first)(rho) = second(first(rho)).
+/// Kraus set is the pairwise product set.
+Channel compose(const Channel& second, const Channel& first);
+
+}  // namespace noisim::ch

@@ -1,0 +1,64 @@
+#include "channels/noisy_circuit.hpp"
+
+#include <algorithm>
+
+namespace noisim::ch {
+
+NoisyCircuit::NoisyCircuit(int num_qubits) : n_(num_qubits) {
+  la::detail::require(num_qubits > 0, "NoisyCircuit: need at least one qubit");
+}
+
+NoisyCircuit::NoisyCircuit(const qc::Circuit& c) : NoisyCircuit(c.num_qubits()) {
+  for (const qc::Gate& g : c.gates()) ops_.emplace_back(g);
+}
+
+NoisyCircuit& NoisyCircuit::add_gate(qc::Gate g) {
+  la::detail::require(g.qubits[0] >= 0 && g.qubits[0] < n_ && g.qubits[1] < n_,
+                      "NoisyCircuit::add_gate: qubit out of range");
+  ops_.emplace_back(std::move(g));
+  return *this;
+}
+
+NoisyCircuit& NoisyCircuit::add_noise(int qubit, Channel channel) {
+  la::detail::require(qubit >= 0 && qubit < n_, "NoisyCircuit::add_noise: qubit out of range");
+  la::detail::require(channel.dim() == 2, "NoisyCircuit::add_noise: only 1-qubit channels");
+  ops_.emplace_back(NoiseOp{qubit, std::move(channel)});
+  return *this;
+}
+
+NoisyCircuit& NoisyCircuit::add_noise_2q(int qubit_a, int qubit_b, Channel channel) {
+  la::detail::require(qubit_a >= 0 && qubit_a < n_ && qubit_b >= 0 && qubit_b < n_ &&
+                          qubit_a != qubit_b,
+                      "NoisyCircuit::add_noise_2q: bad qubit pair");
+  la::detail::require(channel.dim() == 4, "NoisyCircuit::add_noise_2q: only 2-qubit channels");
+  ops_.emplace_back(NoiseOp{qubit_a, std::move(channel), qubit_b});
+  return *this;
+}
+
+std::size_t NoisyCircuit::noise_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      ops_.begin(), ops_.end(), [](const Op& op) { return std::holds_alternative<NoiseOp>(op); }));
+}
+
+std::vector<std::size_t> NoisyCircuit::noise_positions() const {
+  std::vector<std::size_t> pos;
+  for (std::size_t i = 0; i < ops_.size(); ++i)
+    if (std::holds_alternative<NoiseOp>(ops_[i])) pos.push_back(i);
+  return pos;
+}
+
+double NoisyCircuit::max_noise_rate() const {
+  double rate = 0.0;
+  for (const Op& op : ops_)
+    if (const NoiseOp* n = std::get_if<NoiseOp>(&op)) rate = std::max(rate, n->channel.noise_rate());
+  return rate;
+}
+
+qc::Circuit NoisyCircuit::gates_only() const {
+  qc::Circuit c(n_);
+  for (const Op& op : ops_)
+    if (const qc::Gate* g = std::get_if<qc::Gate>(&op)) c.add(*g);
+  return c;
+}
+
+}  // namespace noisim::ch

@@ -1,0 +1,57 @@
+#pragma once
+// Noisy quantum circuits: E_N = E_d . ... . E_1 where each E_i is either a
+// unitary gate or a 1-qubit noise channel (the paper's Problem 1 setup).
+
+#include <variant>
+#include <vector>
+
+#include "channels/channel.hpp"
+#include "circuit/circuit.hpp"
+
+namespace noisim::ch {
+
+/// A noise channel attached to one qubit (or two, for the 2-qubit noise
+/// extension; qubit2 < 0 means a 1-qubit channel).
+struct NoiseOp {
+  int qubit;
+  Channel channel;
+  int qubit2 = -1;
+
+  int num_qubits() const { return qubit2 < 0 ? 1 : 2; }
+};
+
+using Op = std::variant<qc::Gate, NoiseOp>;
+
+class NoisyCircuit {
+ public:
+  NoisyCircuit() = default;
+  explicit NoisyCircuit(int num_qubits);
+  /// Wrap a noiseless circuit.
+  explicit NoisyCircuit(const qc::Circuit& c);
+
+  int num_qubits() const { return n_; }
+  const std::vector<Op>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+
+  NoisyCircuit& add_gate(qc::Gate g);
+  /// Append a 1-qubit noise channel on `qubit`.
+  NoisyCircuit& add_noise(int qubit, Channel channel);
+  /// Append a 2-qubit (dimension-4) noise channel on (qubit_a, qubit_b);
+  /// qubit_a indexes the high-order bit of the channel's Kraus operators.
+  NoisyCircuit& add_noise_2q(int qubit_a, int qubit_b, Channel channel);
+
+  std::size_t noise_count() const;
+  /// Positions (op indices) of the noise channels, ascending.
+  std::vector<std::size_t> noise_positions() const;
+  /// Largest noise rate over all noise sites (the paper's p).
+  double max_noise_rate() const;
+
+  /// The circuit with all noise sites dropped (gates only).
+  qc::Circuit gates_only() const;
+
+ private:
+  int n_ = 0;
+  std::vector<Op> ops_;
+};
+
+}  // namespace noisim::ch

@@ -1,0 +1,88 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+
+namespace noisim::qc {
+
+Circuit::Circuit(int num_qubits) : n_(num_qubits) {
+  la::detail::require(num_qubits > 0, "Circuit: need at least one qubit");
+}
+
+Circuit& Circuit::add(Gate g) {
+  la::detail::require(g.qubits[0] >= 0 && g.qubits[0] < n_, "Circuit::add: qubit out of range");
+  la::detail::require(g.qubits[1] < n_, "Circuit::add: qubit out of range");
+  gates_.push_back(std::move(g));
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  la::detail::require(other.n_ == n_, "Circuit::append: width mismatch");
+  gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+  return *this;
+}
+
+Circuit Circuit::adjoint() const {
+  Circuit out(n_);
+  out.gates_.reserve(gates_.size());
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) out.gates_.push_back(it->adjoint());
+  return out;
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> layer(static_cast<std::size_t>(n_), 0);
+  std::size_t depth = 0;
+  for (const Gate& g : gates_) {
+    std::size_t at = layer[static_cast<std::size_t>(g.qubits[0])];
+    if (g.qubits[1] >= 0) at = std::max(at, layer[static_cast<std::size_t>(g.qubits[1])]);
+    ++at;
+    layer[static_cast<std::size_t>(g.qubits[0])] = at;
+    if (g.qubits[1] >= 0) layer[static_cast<std::size_t>(g.qubits[1])] = at;
+    depth = std::max(depth, at);
+  }
+  return depth;
+}
+
+std::size_t Circuit::two_qubit_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(), [](const Gate& g) { return g.num_qubits() == 2; }));
+}
+
+la::Matrix circuit_unitary(const Circuit& c) {
+  la::detail::require(c.num_qubits() <= 12, "circuit_unitary: too many qubits for a dense unitary");
+  const std::size_t dim = std::size_t{1} << c.num_qubits();
+  la::Matrix u = la::Matrix::identity(dim);
+
+  const int n = c.num_qubits();
+  for (const Gate& g : c.gates()) {
+    // Lift the gate to the full space: for each computational basis column,
+    // scatter through the gate matrix on its qubit(s). Qubit 0 is the most
+    // significant bit, matching kron(q0, q1, ...).
+    const la::Matrix gm = g.matrix();
+    la::Matrix lifted(dim, dim);
+    if (g.num_qubits() == 1) {
+      const std::size_t bit = std::size_t{1} << (n - 1 - g.qubits[0]);
+      for (std::size_t col = 0; col < dim; ++col) {
+        const std::size_t b = (col & bit) ? 1 : 0;
+        for (std::size_t rb = 0; rb < 2; ++rb) {
+          const std::size_t row = (col & ~bit) | (rb ? bit : 0);
+          lifted(row, col) += gm(rb, b);
+        }
+      }
+    } else {
+      const std::size_t bit_a = std::size_t{1} << (n - 1 - g.qubits[0]);
+      const std::size_t bit_b = std::size_t{1} << (n - 1 - g.qubits[1]);
+      for (std::size_t col = 0; col < dim; ++col) {
+        const std::size_t in = ((col & bit_a) ? 2 : 0) | ((col & bit_b) ? 1 : 0);
+        for (std::size_t out = 0; out < 4; ++out) {
+          const std::size_t row =
+              (col & ~(bit_a | bit_b)) | ((out & 2) ? bit_a : 0) | ((out & 1) ? bit_b : 0);
+          lifted(row, col) += gm(out, in);
+        }
+      }
+    }
+    u = lifted * u;
+  }
+  return u;
+}
+
+}  // namespace noisim::qc

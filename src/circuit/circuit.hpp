@@ -1,0 +1,46 @@
+#pragma once
+// Circuit container: an ordered gate list over n qubits.
+//
+// Circuits are plain value types; composition, adjoint and statistics are
+// the only operations -- simulation lives in sim/, tn/ and core/.
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace noisim::qc {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(int num_qubits);
+
+  int num_qubits() const { return n_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::size_t size() const { return gates_.size(); }
+
+  /// Append a gate; qubits must be within range.
+  Circuit& add(Gate g);
+
+  /// Append all gates of another circuit of the same width.
+  Circuit& append(const Circuit& other);
+
+  /// Circuit implementing the inverse: gates reversed and adjointed.
+  Circuit adjoint() const;
+
+  /// ASAP-layered circuit depth (gates on disjoint qubits share a layer).
+  std::size_t depth() const;
+
+  /// Number of 2-qubit gates.
+  std::size_t two_qubit_count() const;
+
+ private:
+  int n_ = 0;
+  std::vector<Gate> gates_;
+};
+
+/// Full 2^n x 2^n unitary of a small circuit (n <= 12; testing/reference).
+la::Matrix circuit_unitary(const Circuit& c);
+
+}  // namespace noisim::qc

@@ -1,0 +1,270 @@
+#include "circuit/gate.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+namespace noisim::qc {
+
+namespace {
+
+constexpr cplx kI{0.0, 1.0};
+
+la::Matrix mat2(cplx a, cplx b, cplx c, cplx d) { return la::Matrix{{a, b}, {c, d}}; }
+
+la::Matrix diag4(cplx a, cplx b, cplx c, cplx d) {
+  la::Matrix m(4, 4);
+  m(0, 0) = a;
+  m(1, 1) = b;
+  m(2, 2) = c;
+  m(3, 3) = d;
+  return m;
+}
+
+double param(const Gate& g, std::size_t i) {
+  la::detail::require(i < g.params.size(), "Gate: missing parameter");
+  return g.params[i];
+}
+
+}  // namespace
+
+la::Matrix Gate::matrix() const {
+  static const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
+  switch (kind) {
+    case GateKind::I:
+      return la::Matrix::identity(2);
+    case GateKind::H:
+      return mat2(inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2);
+    case GateKind::X:
+      return mat2(0, 1, 1, 0);
+    case GateKind::Y:
+      return mat2(0, -kI, kI, 0);
+    case GateKind::Z:
+      return mat2(1, 0, 0, -1);
+    case GateKind::S:
+      return mat2(1, 0, 0, kI);
+    case GateKind::Sdg:
+      return mat2(1, 0, 0, -kI);
+    case GateKind::T:
+      return mat2(1, 0, 0, std::polar(1.0, std::numbers::pi / 4));
+    case GateKind::Tdg:
+      return mat2(1, 0, 0, std::polar(1.0, -std::numbers::pi / 4));
+    case GateKind::SqrtX: {
+      const cplx p{0.5, 0.5}, m{0.5, -0.5};
+      return mat2(p, m, m, p);
+    }
+    case GateKind::SqrtY: {
+      const cplx p{0.5, 0.5};
+      return mat2(p, -p, p, p);
+    }
+    case GateKind::SqrtW: {
+      // Principal square root of W = (X + Y)/sqrt(2) (supremacy circuits):
+      // W is a Hermitian involution, so sqrt(W) = (1+i)/2 I + (1-i)/2 W.
+      const cplx a{0.5, 0.5};
+      return mat2(a, cplx{0.0, -inv_sqrt2}, cplx{inv_sqrt2, 0.0}, a);
+    }
+    case GateKind::Rx: {
+      const double th = param(*this, 0) / 2;
+      return mat2(std::cos(th), -kI * std::sin(th), -kI * std::sin(th), std::cos(th));
+    }
+    case GateKind::Ry: {
+      const double th = param(*this, 0) / 2;
+      return mat2(std::cos(th), -std::sin(th), std::sin(th), std::cos(th));
+    }
+    case GateKind::Rz: {
+      const double th = param(*this, 0) / 2;
+      return mat2(std::polar(1.0, -th), 0, 0, std::polar(1.0, th));
+    }
+    case GateKind::Phase:
+      return mat2(1, 0, 0, std::polar(1.0, param(*this, 0)));
+    case GateKind::U1q:
+      return custom;
+    case GateKind::CZ:
+      return diag4(1, 1, 1, -1);
+    case GateKind::CX: {
+      la::Matrix m(4, 4);
+      m(0, 0) = m(1, 1) = 1;
+      m(2, 3) = m(3, 2) = 1;
+      return m;
+    }
+    case GateKind::CPhase:
+      return diag4(1, 1, 1, std::polar(1.0, param(*this, 0)));
+    case GateKind::ZZ: {
+      const double g = param(*this, 0) / 2;
+      const cplx e_m = std::polar(1.0, -g), e_p = std::polar(1.0, g);
+      return diag4(e_m, e_p, e_p, e_m);
+    }
+    case GateKind::FSim: {
+      const double th = param(*this, 0), phi = param(*this, 1);
+      la::Matrix m(4, 4);
+      m(0, 0) = 1;
+      m(1, 1) = std::cos(th);
+      m(1, 2) = -kI * std::sin(th);
+      m(2, 1) = -kI * std::sin(th);
+      m(2, 2) = std::cos(th);
+      m(3, 3) = std::polar(1.0, -phi);
+      return m;
+    }
+    case GateKind::Givens: {
+      const double th = param(*this, 0);
+      la::Matrix m(4, 4);
+      m(0, 0) = m(3, 3) = 1;
+      m(1, 1) = std::cos(th);
+      m(1, 2) = -std::sin(th);
+      m(2, 1) = std::sin(th);
+      m(2, 2) = std::cos(th);
+      return m;
+    }
+    case GateKind::CU: {
+      la::Matrix m(4, 4);
+      m(0, 0) = m(1, 1) = 1;
+      m(2, 2) = custom(0, 0);
+      m(2, 3) = custom(0, 1);
+      m(3, 2) = custom(1, 0);
+      m(3, 3) = custom(1, 1);
+      return m;
+    }
+    case GateKind::U2q:
+      return custom;
+  }
+  la::detail::fail("Gate::matrix: unknown kind");
+}
+
+Gate Gate::adjoint() const {
+  Gate g = *this;
+  switch (kind) {
+    case GateKind::I:
+    case GateKind::H:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::CZ:
+    case GateKind::CX:
+      return g;  // self-inverse
+    case GateKind::S:
+      g.kind = GateKind::Sdg;
+      return g;
+    case GateKind::Sdg:
+      g.kind = GateKind::S;
+      return g;
+    case GateKind::T:
+      g.kind = GateKind::Tdg;
+      return g;
+    case GateKind::Tdg:
+      g.kind = GateKind::T;
+      return g;
+    case GateKind::Rx:
+    case GateKind::Ry:
+    case GateKind::Rz:
+    case GateKind::Phase:
+    case GateKind::CPhase:
+    case GateKind::ZZ:
+    case GateKind::Givens:
+      g.params[0] = -g.params[0];
+      return g;
+    case GateKind::FSim:
+      g.params[0] = -g.params[0];
+      g.params[1] = -g.params[1];
+      return g;
+    case GateKind::SqrtX:
+    case GateKind::SqrtY:
+    case GateKind::SqrtW:
+      g.kind = GateKind::U1q;
+      g.custom = matrix().adjoint();
+      return g;
+    case GateKind::CU:
+      g.custom = custom.adjoint();
+      return g;
+    case GateKind::U1q:
+    case GateKind::U2q:
+      g.custom = custom.adjoint();
+      return g;
+  }
+  la::detail::fail("Gate::adjoint: unknown kind");
+}
+
+std::string Gate::description() const {
+  static const char* names[] = {"I",  "H",  "X",     "Y",     "Z",     "S",      "Sdg",
+                                "T",  "Tdg", "SqrtX", "SqrtY", "SqrtW", "Rx",     "Ry",
+                                "Rz", "Phase", "U1q", "CZ",    "CX",    "CPhase", "ZZ",
+                                "FSim", "Givens", "CU", "U2q"};
+  std::ostringstream os;
+  os << names[static_cast<int>(kind)];
+  if (!params.empty()) {
+    os << "(";
+    for (std::size_t i = 0; i < params.size(); ++i) os << (i ? "," : "") << params[i];
+    os << ")";
+  }
+  os << " q" << qubits[0];
+  if (qubits[1] >= 0) os << ",q" << qubits[1];
+  return os.str();
+}
+
+namespace {
+Gate make1(GateKind k, int q, std::vector<double> p = {}, la::Matrix m = {}) {
+  la::detail::require(q >= 0, "gate: negative qubit");
+  Gate g;
+  g.kind = k;
+  g.qubits = {q, -1};
+  g.params = std::move(p);
+  g.custom = std::move(m);
+  return g;
+}
+Gate make2(GateKind k, int a, int b, std::vector<double> p = {}, la::Matrix m = {}) {
+  la::detail::require(a >= 0 && b >= 0 && a != b, "gate: invalid qubit pair");
+  Gate g;
+  g.kind = k;
+  g.qubits = {a, b};
+  g.params = std::move(p);
+  g.custom = std::move(m);
+  return g;
+}
+}  // namespace
+
+Gate h(int q) { return make1(GateKind::H, q); }
+Gate x(int q) { return make1(GateKind::X, q); }
+Gate y(int q) { return make1(GateKind::Y, q); }
+Gate z(int q) { return make1(GateKind::Z, q); }
+Gate s(int q) { return make1(GateKind::S, q); }
+Gate sdg(int q) { return make1(GateKind::Sdg, q); }
+Gate t(int q) { return make1(GateKind::T, q); }
+Gate tdg(int q) { return make1(GateKind::Tdg, q); }
+Gate sqrt_x(int q) { return make1(GateKind::SqrtX, q); }
+Gate sqrt_y(int q) { return make1(GateKind::SqrtY, q); }
+Gate sqrt_w(int q) { return make1(GateKind::SqrtW, q); }
+Gate rx(int q, double theta) { return make1(GateKind::Rx, q, {theta}); }
+Gate ry(int q, double theta) { return make1(GateKind::Ry, q, {theta}); }
+Gate rz(int q, double theta) { return make1(GateKind::Rz, q, {theta}); }
+Gate phase(int q, double phi) { return make1(GateKind::Phase, q, {phi}); }
+
+Gate u1q(int q, la::Matrix m) {
+  la::detail::require(m.rows() == 2 && m.cols() == 2, "u1q: matrix must be 2x2");
+  return make1(GateKind::U1q, q, {}, std::move(m));
+}
+
+Gate cz(int a, int b) { return make2(GateKind::CZ, a, b); }
+Gate cx(int control, int target) { return make2(GateKind::CX, control, target); }
+Gate cphase(int a, int b, double phi) { return make2(GateKind::CPhase, a, b, {phi}); }
+Gate zz(int a, int b, double gamma) { return make2(GateKind::ZZ, a, b, {gamma}); }
+Gate fsim(int a, int b, double theta, double phi) {
+  return make2(GateKind::FSim, a, b, {theta, phi});
+}
+Gate givens(int a, int b, double theta) { return make2(GateKind::Givens, a, b, {theta}); }
+
+Gate cu(int control, int target, la::Matrix u) {
+  la::detail::require(u.rows() == 2 && u.cols() == 2, "cu: matrix must be 2x2");
+  return make2(GateKind::CU, control, target, {}, std::move(u));
+}
+
+Gate u2q(int a, int b, la::Matrix m) {
+  la::detail::require(m.rows() == 4 && m.cols() == 4, "u2q: matrix must be 4x4");
+  return make2(GateKind::U2q, a, b, {}, std::move(m));
+}
+
+bool is_inverse_pair(const Gate& a, const Gate& b) {
+  if (a.num_qubits() != b.num_qubits()) return false;
+  if (!a.same_qubits(b)) return false;
+  return (a.matrix() * b.matrix()).is_identity(1e-12);
+}
+
+}  // namespace noisim::qc

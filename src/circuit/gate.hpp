@@ -1,0 +1,101 @@
+#pragma once
+// Quantum gates: the operations of Table I plus the two-qubit gates used by
+// the paper's benchmark families (CZ for QAOA, Givens rotations for HF-VQE,
+// fSim / sqrt-Pauli gates for the supremacy circuits).
+//
+// A Gate stores its kind, target qubits and parameters; matrix() returns the
+// 2x2 (1-qubit) or 4x4 (2-qubit) unitary, with qubits[0] the most
+// significant index of the 4x4 matrix.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace noisim::qc {
+
+enum class GateKind {
+  // 1-qubit
+  I,
+  H,
+  X,
+  Y,
+  Z,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  SqrtX,   // X^(1/2), used by supremacy circuits
+  SqrtY,   // Y^(1/2)
+  SqrtW,   // W^(1/2), W = (X + Y)/sqrt(2)
+  Rx,      // exp(-i theta X / 2)
+  Ry,
+  Rz,
+  Phase,   // diag(1, e^{i phi})
+  U1q,     // arbitrary user 2x2 (not necessarily unitary; used for noise-term insertions)
+  // 2-qubit
+  CZ,
+  CX,      // control = qubits[0]
+  CPhase,  // diag(1,1,1,e^{i phi})
+  ZZ,      // exp(-i gamma Z(x)Z / 2)
+  FSim,    // fSim(theta, phi)
+  Givens,  // planar rotation on {|01>,|10>}
+  CU,      // controlled arbitrary 2x2
+  U2q,     // arbitrary user 4x4
+};
+
+struct Gate {
+  GateKind kind = GateKind::I;
+  std::array<int, 2> qubits{-1, -1};
+  std::vector<double> params;
+  la::Matrix custom;  // payload for U1q / U2q / CU
+
+  int num_qubits() const { return qubits[1] < 0 ? 1 : 2; }
+  bool acts_on(int q) const { return qubits[0] == q || qubits[1] == q; }
+
+  /// The gate's (2x2 or 4x4) matrix; qubits[0] indexes the high-order bit.
+  la::Matrix matrix() const;
+
+  /// Gate implementing the adjoint (inverse for unitary kinds). Kinds with
+  /// no named inverse fall back to a U1q/U2q gate holding the adjoint matrix.
+  Gate adjoint() const;
+
+  /// Human-readable name, e.g. "Rz(0.5) q3" or "CZ q0,q1".
+  std::string description() const;
+
+  bool same_qubits(const Gate& o) const { return qubits == o.qubits; }
+};
+
+// --- 1-qubit factories ------------------------------------------------------
+Gate h(int q);
+Gate x(int q);
+Gate y(int q);
+Gate z(int q);
+Gate s(int q);
+Gate sdg(int q);
+Gate t(int q);
+Gate tdg(int q);
+Gate sqrt_x(int q);
+Gate sqrt_y(int q);
+Gate sqrt_w(int q);
+Gate rx(int q, double theta);
+Gate ry(int q, double theta);
+Gate rz(int q, double theta);
+Gate phase(int q, double phi);
+Gate u1q(int q, la::Matrix m);
+
+// --- 2-qubit factories ------------------------------------------------------
+Gate cz(int a, int b);
+Gate cx(int control, int target);
+Gate cphase(int a, int b, double phi);
+Gate zz(int a, int b, double gamma);
+Gate fsim(int a, int b, double theta, double phi);
+Gate givens(int a, int b, double theta);
+Gate cu(int control, int target, la::Matrix u);
+Gate u2q(int a, int b, la::Matrix m);
+
+/// True iff b equals a's inverse on the same qubits (matrix product == I).
+bool is_inverse_pair(const Gate& a, const Gate& b);
+
+}  // namespace noisim::qc

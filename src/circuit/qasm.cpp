@@ -1,0 +1,256 @@
+#include "circuit/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+namespace noisim::qc {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::string fmt_angle(double a) {
+  std::ostringstream os;
+  os.precision(17);
+  os << a;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_qasm(const Circuit& c) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[" << c.num_qubits() << "];\n";
+  for (const Gate& g : c.gates()) {
+    const int a = g.qubits[0], b = g.qubits[1];
+    switch (g.kind) {
+      case GateKind::I: os << "id q[" << a << "];\n"; break;
+      case GateKind::H: os << "h q[" << a << "];\n"; break;
+      case GateKind::X: os << "x q[" << a << "];\n"; break;
+      case GateKind::Y: os << "y q[" << a << "];\n"; break;
+      case GateKind::Z: os << "z q[" << a << "];\n"; break;
+      case GateKind::S: os << "s q[" << a << "];\n"; break;
+      case GateKind::Sdg: os << "sdg q[" << a << "];\n"; break;
+      case GateKind::T: os << "t q[" << a << "];\n"; break;
+      case GateKind::Tdg: os << "tdg q[" << a << "];\n"; break;
+      case GateKind::SqrtX: os << "rx(" << fmt_angle(kPi / 2) << ") q[" << a << "];\n"; break;
+      case GateKind::SqrtY: os << "ry(" << fmt_angle(kPi / 2) << ") q[" << a << "];\n"; break;
+      case GateKind::Rx: os << "rx(" << fmt_angle(g.params[0]) << ") q[" << a << "];\n"; break;
+      case GateKind::Ry: os << "ry(" << fmt_angle(g.params[0]) << ") q[" << a << "];\n"; break;
+      case GateKind::Rz: os << "rz(" << fmt_angle(g.params[0]) << ") q[" << a << "];\n"; break;
+      case GateKind::Phase: os << "u1(" << fmt_angle(g.params[0]) << ") q[" << a << "];\n"; break;
+      case GateKind::CZ: os << "cz q[" << a << "],q[" << b << "];\n"; break;
+      case GateKind::CX: os << "cx q[" << a << "],q[" << b << "];\n"; break;
+      case GateKind::CPhase:
+        os << "cp(" << fmt_angle(g.params[0]) << ") q[" << a << "],q[" << b << "];\n";
+        break;
+      case GateKind::ZZ:
+        os << "rzz(" << fmt_angle(g.params[0]) << ") q[" << a << "],q[" << b << "];\n";
+        break;
+      case GateKind::Givens:
+      case GateKind::SqrtW:
+      case GateKind::FSim:
+      case GateKind::CU:
+      case GateKind::U1q:
+      case GateKind::U2q:
+        la::detail::fail("to_qasm: gate kind has no QASM 2.0 spelling: " + g.description());
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Minimal tokenizer/parser state over the program text.
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  bool eof() const { return pos >= text.size(); }
+
+  void skip_ws() {
+    while (!eof()) {
+      if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      } else if (text.compare(pos, 2, "//") == 0) {
+        while (!eof() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos;
+    while (!eof() && (std::isalnum(static_cast<unsigned char>(text[pos])) || text[pos] == '_'))
+      ++pos;
+    return text.substr(start, pos - start);
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (!eof() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c, const char* ctx) {
+    la::detail::require(try_consume(c), ctx);
+  }
+
+  /// Constant arithmetic expression: numbers, pi, + - * / and parentheses.
+  double expr() { return parse_sum(); }
+
+  double parse_sum() {
+    double v = parse_product();
+    while (true) {
+      skip_ws();
+      if (try_consume('+'))
+        v += parse_product();
+      else if (try_consume('-'))
+        v -= parse_product();
+      else
+        return v;
+    }
+  }
+
+  double parse_product() {
+    double v = parse_atom();
+    while (true) {
+      skip_ws();
+      if (try_consume('*'))
+        v *= parse_atom();
+      else if (try_consume('/'))
+        v /= parse_atom();
+      else
+        return v;
+    }
+  }
+
+  double parse_atom() {
+    skip_ws();
+    if (try_consume('(')) {
+      const double v = expr();
+      expect(')', "qasm: expected ')'");
+      return v;
+    }
+    if (try_consume('-')) return -parse_atom();
+    if (text.compare(pos, 2, "pi") == 0) {
+      pos += 2;
+      return kPi;
+    }
+    std::size_t consumed = 0;
+    const double v = std::stod(text.substr(pos), &consumed);
+    la::detail::require(consumed > 0, "qasm: expected number");
+    pos += consumed;
+    return v;
+  }
+
+  int qubit(const std::string& reg) {
+    const std::string name = ident();
+    la::detail::require(name == reg, "qasm: unknown register");
+    expect('[', "qasm: expected '['");
+    const double idx = parse_atom();
+    expect(']', "qasm: expected ']'");
+    return static_cast<int>(idx);
+  }
+};
+
+}  // namespace
+
+Circuit from_qasm(const std::string& text) {
+  Parser p{text};
+
+  // Header.
+  p.skip_ws();
+  la::detail::require(p.ident() == "OPENQASM", "qasm: missing OPENQASM header");
+  p.expr();  // version number
+  p.expect(';', "qasm: expected ';' after version");
+  p.skip_ws();
+  if (text.compare(p.pos, 7, "include") == 0) {
+    while (!p.eof() && text[p.pos] != ';') ++p.pos;
+    p.expect(';', "qasm: expected ';' after include");
+  }
+
+  // Single quantum register.
+  la::detail::require(p.ident() == "qreg", "qasm: expected qreg");
+  const std::string reg = p.ident();
+  p.expect('[', "qasm: expected '[' in qreg");
+  const int n = static_cast<int>(p.parse_atom());
+  p.expect(']', "qasm: expected ']' in qreg");
+  p.expect(';', "qasm: expected ';' after qreg");
+
+  Circuit c(n);
+  while (true) {
+    p.skip_ws();
+    if (p.eof()) break;
+    const std::string op = p.ident();
+    la::detail::require(!op.empty(), "qasm: unexpected character");
+    if (op == "barrier") {  // ignore to ';'
+      while (!p.eof() && text[p.pos] != ';') ++p.pos;
+      p.expect(';', "qasm: expected ';' after barrier");
+      continue;
+    }
+    la::detail::require(op != "creg" && op != "measure",
+                        "qasm: classical registers/measurements unsupported");
+
+    std::vector<double> params;
+    if (p.try_consume('(')) {
+      params.push_back(p.expr());
+      while (p.try_consume(',')) params.push_back(p.expr());
+      p.expect(')', "qasm: expected ')' after params");
+    }
+    std::vector<int> qs;
+    qs.push_back(p.qubit(reg));
+    while (p.try_consume(',')) qs.push_back(p.qubit(reg));
+    p.expect(';', "qasm: expected ';' after statement");
+
+    auto need = [&](std::size_t nq, std::size_t np) {
+      la::detail::require(qs.size() == nq && params.size() == np,
+                          "qasm: wrong arity for gate");
+    };
+    if (op == "id") { need(1, 0); /* identity: skip */ }
+    else if (op == "h") { need(1, 0); c.add(h(qs[0])); }
+    else if (op == "x") { need(1, 0); c.add(x(qs[0])); }
+    else if (op == "y") { need(1, 0); c.add(y(qs[0])); }
+    else if (op == "z") { need(1, 0); c.add(z(qs[0])); }
+    else if (op == "s") { need(1, 0); c.add(s(qs[0])); }
+    else if (op == "sdg") { need(1, 0); c.add(sdg(qs[0])); }
+    else if (op == "t") { need(1, 0); c.add(t(qs[0])); }
+    else if (op == "tdg") { need(1, 0); c.add(tdg(qs[0])); }
+    else if (op == "rx") { need(1, 1); c.add(rx(qs[0], params[0])); }
+    else if (op == "ry") { need(1, 1); c.add(ry(qs[0], params[0])); }
+    else if (op == "rz") { need(1, 1); c.add(rz(qs[0], params[0])); }
+    else if (op == "u1" || op == "p") { need(1, 1); c.add(phase(qs[0], params[0])); }
+    else if (op == "cx" || op == "CX") { need(2, 0); c.add(cx(qs[0], qs[1])); }
+    else if (op == "cz") { need(2, 0); c.add(cz(qs[0], qs[1])); }
+    else if (op == "cp" || op == "cu1") { need(2, 1); c.add(cphase(qs[0], qs[1], params[0])); }
+    else if (op == "crz") {
+      need(2, 1);
+      // crz(t) = cp(t) up to a phase on the control's |1> branch:
+      // crz = rz(t/2) on target, conditioned; emit the exact qelib1 def.
+      c.add(cx(qs[0], qs[1]));
+      c.add(rz(qs[1], -params[0] / 2));
+      c.add(cx(qs[0], qs[1]));
+      c.add(rz(qs[1], params[0] / 2));
+    }
+    else if (op == "rzz") { need(2, 1); c.add(zz(qs[0], qs[1], params[0])); }
+    else if (op == "swap") {
+      need(2, 0);
+      c.add(cx(qs[0], qs[1]));
+      c.add(cx(qs[1], qs[0]));
+      c.add(cx(qs[0], qs[1]));
+    }
+    else {
+      la::detail::fail("qasm: unsupported gate '" + op + "'");
+    }
+  }
+  return c;
+}
+
+}  // namespace noisim::qc

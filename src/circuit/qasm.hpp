@@ -1,0 +1,29 @@
+#pragma once
+// OpenQASM 2.0 interoperability (subset).
+//
+// Export writes any noisim circuit as a qelib1-style program (gates without
+// a native QASM spelling are decomposed or emitted as comments+unitaries are
+// rejected -- see to_qasm). Import parses the common single-register subset:
+// qreg, the 1-qubit gates of Table I, cx/cz/... and rotation gates with
+// constant-expression angles (multiples and fractions of pi).
+//
+// This is the interchange path to run circuits from Qiskit/Cirq exports
+// through the paper's algorithm.
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace noisim::qc {
+
+/// Serialize to OpenQASM 2.0. Throws LinalgError for gates with no QASM
+/// spelling (U1q/U2q custom matrices).
+std::string to_qasm(const Circuit& c);
+
+/// Parse an OpenQASM 2.0 program (single quantum register, the gate subset
+/// produced by to_qasm plus id/s/sdg/t/tdg/x/y/z/h/rx/ry/rz/u1/cx/cz/cp/
+/// crz/rzz/swap). Comments and barriers are ignored; classical registers
+/// and measurements are rejected.
+Circuit from_qasm(const std::string& text);
+
+}  // namespace noisim::qc

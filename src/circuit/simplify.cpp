@@ -1,0 +1,82 @@
+#include "circuit/simplify.hpp"
+
+#include <algorithm>
+
+namespace noisim::qc {
+
+namespace {
+
+bool disjoint(const Gate& a, const Gate& b) {
+  for (int qa : a.qubits) {
+    if (qa < 0) continue;
+    if (b.acts_on(qa)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Gate> cancel_inverse_pairs(std::vector<Gate> gates) {
+  std::vector<bool> removed(gates.size(), false);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (removed[i]) continue;
+      // Scan forward for the first gate sharing a qubit with gates[i];
+      // everything in between commutes with it by disjointness.
+      for (std::size_t j = i + 1; j < gates.size(); ++j) {
+        if (removed[j]) continue;
+        if (disjoint(gates[i], gates[j])) continue;
+        if (is_inverse_pair(gates[i], gates[j])) {
+          removed[i] = removed[j] = true;
+          changed = true;
+        }
+        break;  // blocked (or cancelled); move to next i either way
+      }
+    }
+  }
+
+  std::vector<Gate> out;
+  out.reserve(gates.size());
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    if (!removed[i]) out.push_back(std::move(gates[i]));
+  return out;
+}
+
+Circuit cancel_inverse_pairs(const Circuit& c) {
+  Circuit out(c.num_qubits());
+  for (Gate& g : cancel_inverse_pairs(c.gates())) out.add(std::move(g));
+  return out;
+}
+
+std::vector<int> light_cone(const std::vector<Gate>& gates, const std::vector<int>& seeds) {
+  std::vector<bool> in_cone;
+  for (int q : seeds) {
+    if (q >= static_cast<int>(in_cone.size())) in_cone.resize(static_cast<std::size_t>(q) + 1);
+    in_cone[static_cast<std::size_t>(q)] = true;
+  }
+  auto touch = [&](int q) {
+    if (q < 0) return false;
+    if (q >= static_cast<int>(in_cone.size())) in_cone.resize(static_cast<std::size_t>(q) + 1);
+    return static_cast<bool>(in_cone[static_cast<std::size_t>(q)]);
+  };
+
+  // Walk backwards: a gate is in the cone if it touches a cone qubit, and
+  // then drags its other qubit in.
+  for (auto it = gates.rbegin(); it != gates.rend(); ++it) {
+    const bool hit = touch(it->qubits[0]) || touch(it->qubits[1]);
+    if (hit) {
+      for (int q : it->qubits)
+        if (q >= 0) in_cone[static_cast<std::size_t>(q)] = true;
+    }
+  }
+
+  std::vector<int> cone;
+  for (std::size_t q = 0; q < in_cone.size(); ++q)
+    if (in_cone[q]) cone.push_back(static_cast<int>(q));
+  return cone;
+}
+
+}  // namespace noisim::qc

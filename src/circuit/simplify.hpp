@@ -1,0 +1,31 @@
+#pragma once
+// Peephole circuit simplification: inverse-pair cancellation modulo
+// disjoint-support commutation.
+//
+// Why this matters for the paper: Table IV evaluates amplitudes of the form
+// <0| U_ideal^dagger C' |0> where C' is the ideal circuit with a handful of
+// 1-qubit noise-term insertions. Concatenating C' with the reversed adjoint
+// of U_ideal produces a gate list in which every gate outside the light cone
+// of the insertions meets its own inverse; cancelling those pairs shrinks a
+// ~2d-gate network down to the insertions' light cones, which is exactly the
+// reduction that makes the paper's level sweeps tractable.
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace noisim::qc {
+
+/// Repeatedly remove gate pairs (g_i, g_j), i < j, where g_j is the exact
+/// inverse of g_i on the same qubits and every gate between them acts on
+/// disjoint qubits (hence commutes with g_i). Runs to a fixpoint.
+std::vector<Gate> cancel_inverse_pairs(std::vector<Gate> gates);
+
+/// Convenience overload operating on a Circuit.
+Circuit cancel_inverse_pairs(const Circuit& c);
+
+/// Qubits reachable backwards from `seeds` through the gate list
+/// (the light cone); used for diagnostics and tests.
+std::vector<int> light_cone(const std::vector<Gate>& gates, const std::vector<int>& seeds);
+
+}  // namespace noisim::qc

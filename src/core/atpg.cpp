@@ -1,0 +1,34 @@
+#include "core/atpg.hpp"
+
+#include <algorithm>
+
+namespace noisim::core {
+
+double fault_detection_probability(const ch::NoisyCircuit& nc, std::uint64_t test_bits,
+                                   const ApproxOptions& opts) {
+  const ch::NoisyCircuit projected = with_ideal_output_projector(nc);
+  ApproxOptions run = opts;
+  run.eval.simplify = true;  // the projector rewrite makes this pay off
+  const double escape = approximate_fidelity(projected, test_bits, test_bits, run).value;
+  // Clamp: the approximation can overshoot [0, 1] by its error bound.
+  return std::clamp(1.0 - escape, 0.0, 1.0);
+}
+
+TestPatternResult best_test_pattern(const ch::NoisyCircuit& nc,
+                                    const std::vector<std::uint64_t>& candidates,
+                                    const ApproxOptions& opts) {
+  la::detail::require(!candidates.empty(), "best_test_pattern: no candidates");
+  TestPatternResult out;
+  out.all.reserve(candidates.size());
+  for (std::uint64_t pattern : candidates) {
+    const double p = fault_detection_probability(nc, pattern, opts);
+    out.all.push_back(p);
+    if (p > out.detection_probability) {
+      out.detection_probability = p;
+      out.pattern = pattern;
+    }
+  }
+  return out;
+}
+
+}  // namespace noisim::core

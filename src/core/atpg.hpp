@@ -1,0 +1,39 @@
+#pragma once
+// Fault detection for noisy circuits (the ATPG application the paper's
+// conclusion motivates, cf. its refs [34]-[36]).
+//
+// A manufacturing fault is modeled as a noise channel at a known site. A
+// test consists of preparing |t>, running the circuit, and measuring in the
+// computational basis against the ideal outcome U|t>: the fault *escapes*
+// with probability F = <v|E(|t><t|)|v> (v = U|t>) and is *detected* with
+// probability 1 - F. Algorithm 1 evaluates F cheaply (level-1 with the
+// light-cone reduction), which makes scanning candidate test patterns
+// practical on circuits far past density-matrix scale.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/approx.hpp"
+
+namespace noisim::core {
+
+/// Detection probability 1 - <U t|E(|t><t|)|U t> of the test pattern |t>.
+/// Evaluated through the ideal-output projector rewrite + Algorithm 1.
+double fault_detection_probability(const ch::NoisyCircuit& nc, std::uint64_t test_bits,
+                                   const ApproxOptions& opts = {});
+
+struct TestPatternResult {
+  std::uint64_t pattern = 0;
+  double detection_probability = 0.0;
+  /// Detection probability of every candidate, parallel to `candidates`.
+  std::vector<double> all;
+};
+
+/// Evaluate the given candidate test patterns and return the best detector.
+/// (Exhaustive pattern search is exponential; callers typically pass a
+/// small pool of random or structured patterns, like classical ATPG.)
+TestPatternResult best_test_pattern(const ch::NoisyCircuit& nc,
+                                    const std::vector<std::uint64_t>& candidates,
+                                    const ApproxOptions& opts = {});
+
+}  // namespace noisim::core

@@ -1,0 +1,80 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+
+#include "linalg/complex.hpp"
+
+namespace noisim::core {
+
+double binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double r = 1.0;
+  for (std::size_t i = 0; i < k; ++i)
+    r = r * static_cast<double>(n - i) / static_cast<double>(i + 1);
+  return r;
+}
+
+double theorem1_error_bound(std::size_t num_noises, double p, std::size_t level) {
+  la::detail::require(p >= 0.0, "theorem1_error_bound: negative noise rate");
+  const auto n = num_noises;
+  double kept = 0.0;
+  for (std::size_t i = 0; i <= level && i <= n; ++i)
+    kept += binomial(n, i) * std::pow(4.0 * p, static_cast<double>(i)) *
+            std::pow(1.0 + 4.0 * p, static_cast<double>(n - i));
+  const double total = std::pow(1.0 + 8.0 * p, static_cast<double>(n));
+  return std::max(0.0, total - kept);
+}
+
+double level1_asymptotic_bound(std::size_t num_noises, double p) {
+  const double n = static_cast<double>(num_noises);
+  return 32.0 * std::sqrt(std::exp(1.0)) * n * n * p * p;
+}
+
+double contraction_count(std::size_t num_noises, std::size_t level) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i <= level && i <= num_noises; ++i)
+    sum += binomial(num_noises, i) * std::pow(3.0, static_cast<double>(i));
+  return 2.0 * sum;
+}
+
+double trajectories_samples_calibrated(std::size_t num_noises, double p) {
+  const double eps = theorem1_error_bound(num_noises, p, 1);
+  la::detail::require(eps > 0.0, "trajectories_samples_calibrated: zero error target");
+  return 1.0 / eps;
+}
+
+double trajectories_samples_hoeffding(std::size_t num_noises, double p, double failure_prob) {
+  const double eps = theorem1_error_bound(num_noises, p, 1);
+  la::detail::require(eps > 0.0 && failure_prob > 0.0 && failure_prob < 1.0,
+                      "trajectories_samples_hoeffding: bad arguments");
+  return std::log(2.0 / failure_prob) / (2.0 * eps * eps);
+}
+
+double generalized_error_bound(const std::vector<double>& dominant_norms,
+                               const std::vector<double>& subdominant_norms,
+                               std::size_t level) {
+  la::detail::require(dominant_norms.size() == subdominant_norms.size(),
+                      "generalized_error_bound: size mismatch");
+  const std::size_t n = dominant_norms.size();
+  // dp[i] = sum over subsets S of processed sites with |S| = i of
+  //         prod_{s in S} b_s * prod_{s not in S} a_s.
+  std::vector<double> dp{1.0};
+  double total = 1.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const double a = dominant_norms[s], b = subdominant_norms[s];
+    la::detail::require(a >= 0.0 && b >= 0.0, "generalized_error_bound: negative norm");
+    total *= a + b;
+    std::vector<double> next(dp.size() + 1, 0.0);
+    for (std::size_t i = 0; i < dp.size(); ++i) {
+      next[i] += dp[i] * a;
+      next[i + 1] += dp[i] * b;
+    }
+    dp = std::move(next);
+  }
+  double kept = 0.0;
+  for (std::size_t i = 0; i <= level && i < dp.size(); ++i) kept += dp[i];
+  return std::max(0.0, total - kept);
+}
+
+}  // namespace noisim::core

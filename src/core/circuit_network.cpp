@@ -1,0 +1,114 @@
+#include "core/circuit_network.hpp"
+
+#include "circuit/simplify.hpp"
+#include "sim/statevector.hpp"
+#include "tensor/contract.hpp"
+
+namespace noisim::core {
+
+tn::Network amplitude_network(int n, const std::vector<qc::Gate>& gates,
+                              std::uint64_t psi_bits, std::uint64_t v_bits, bool conjugate) {
+  la::detail::require(n > 0, "amplitude_network: qubit count out of range");
+  tn::Network net;
+
+  auto basis_tensor = [](bool one) {
+    tsr::Tensor t{{2}};
+    t[one ? 1 : 0] = cplx{1.0, 0.0};
+    return t;
+  };
+
+  // Input caps |psi_q> establish the initial wire edges.
+  std::vector<tn::EdgeId> wire(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    wire[static_cast<std::size_t>(q)] = net.new_edge();
+    const bool one = basis_bit(psi_bits, n, q);
+    net.add_node(basis_tensor(one), {wire[static_cast<std::size_t>(q)]},
+                 "psi[q" + std::to_string(q) + "]");
+  }
+
+  for (const qc::Gate& g : gates) {
+    la::Matrix m = g.matrix();
+    if (conjugate) m = m.conj();
+    if (g.num_qubits() == 1) {
+      const auto q = static_cast<std::size_t>(g.qubits[0]);
+      const tn::EdgeId out = net.new_edge();
+      // Axes: [out, in]; m(out, in).
+      net.add_node(tsr::Tensor::from_matrix(m), {out, wire[q]}, g.description());
+      wire[q] = out;
+    } else {
+      const auto a = static_cast<std::size_t>(g.qubits[0]);
+      const auto b = static_cast<std::size_t>(g.qubits[1]);
+      const tn::EdgeId out_a = net.new_edge();
+      const tn::EdgeId out_b = net.new_edge();
+      // Row-major reshape of the 4x4: axes [out_a, out_b, in_a, in_b].
+      tsr::Tensor t = tsr::Tensor::from_matrix(m).reshape({2, 2, 2, 2});
+      net.add_node(std::move(t), {out_a, out_b, wire[a], wire[b]}, g.description());
+      wire[a] = out_a;
+      wire[b] = out_b;
+    }
+  }
+
+  // Output caps <v_q|. For computational basis states the bra is real, so
+  // conjugation is a no-op and the same tensor serves both layers.
+  for (int q = 0; q < n; ++q) {
+    const bool one = basis_bit(v_bits, n, q);
+    net.add_node(basis_tensor(one), {wire[static_cast<std::size_t>(q)]},
+                 "v[q" + std::to_string(q) + "]");
+  }
+  return net;
+}
+
+namespace {
+
+cplx amplitude_sv(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_bits,
+                  std::uint64_t v_bits, bool conjugate) {
+  sim::Statevector sv = sim::Statevector::basis(n, psi_bits);
+  for (const qc::Gate& g : gates) {
+    la::Matrix m = g.matrix();
+    if (conjugate) m = m.conj();
+    if (g.num_qubits() == 1)
+      sv.apply_matrix1(m, g.qubits[0]);
+    else
+      sv.apply_matrix2(m, g.qubits[0], g.qubits[1]);
+  }
+  return sv.amplitude(v_bits);
+}
+
+}  // namespace
+
+cplx amplitude(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_bits,
+               std::uint64_t v_bits, bool conjugate, const EvalOptions& opts,
+               tn::ContractStats* stats) {
+  const std::vector<qc::Gate>* use = &gates;
+  std::vector<qc::Gate> reduced;
+  if (opts.simplify) {
+    reduced = qc::cancel_inverse_pairs(gates);
+    use = &reduced;
+  }
+
+  auto contract_tn = [&] {
+    tn::ContractOptions copts = opts.tn;
+    if (opts.sequence_for) {
+      std::vector<std::size_t> seq = opts.sequence_for(n, *use);
+      if (!seq.empty()) {
+        copts.strategy = tn::OrderStrategy::Sequential;
+        copts.custom_sequence = std::move(seq);
+      }
+    }
+    return tn::contract_to_scalar(amplitude_network(n, *use, psi_bits, v_bits, conjugate),
+                                  copts, stats);
+  };
+
+  switch (opts.backend) {
+    case EvalOptions::Backend::StateVector:
+      return amplitude_sv(n, *use, psi_bits, v_bits, conjugate);
+    case EvalOptions::Backend::TensorNetwork:
+      return contract_tn();
+    case EvalOptions::Backend::Auto:
+      if (n <= opts.sv_max_qubits) return amplitude_sv(n, *use, psi_bits, v_bits, conjugate);
+      return contract_tn();
+  }
+  la::detail::fail("amplitude: unknown backend");
+}
+
+}  // namespace noisim::core

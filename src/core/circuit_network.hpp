@@ -1,0 +1,62 @@
+#pragma once
+// Amplitude evaluation <v| G_d ... G_1 |psi> for gate lists, with two
+// backends:
+//  * TensorNetwork -- builds the circuit's tensor network and contracts it
+//    (the paper's method; scales with treewidth, not qubit count);
+//  * StateVector   -- Schrodinger simulation (exact reference, exponential
+//    in qubit count but cheap for small circuits).
+//
+// Gate lists here are plain vectors of qc::Gate so that the approximation
+// engine can splice in non-unitary 1-qubit insertions (the SVD factors).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "tn/contractor.hpp"
+
+namespace noisim::core {
+
+struct EvalOptions {
+  enum class Backend { Auto, StateVector, TensorNetwork };
+  Backend backend = Backend::Auto;
+  /// Auto uses the state vector up to this qubit count, TN beyond. For the
+  /// paper's shallow benchmark circuits TN contraction beats the 2^n sweep
+  /// well before 16 qubits, so the cutoff sits at 12.
+  int sv_max_qubits = 12;
+  tn::ContractOptions tn;
+  /// Run inverse-pair cancellation on the gate list before evaluating
+  /// (pays off when the list embeds C then C^dagger around insertions).
+  bool simplify = false;
+  /// Structure-aware node ordering (e.g. core::make_grid_sweep): called
+  /// with the final (post-simplify) gate list; a non-empty result switches
+  /// the contraction to Sequential with that absorption order. Ignored by
+  /// the state-vector backend.
+  std::function<std::vector<std::size_t>(int, const std::vector<qc::Gate>&)> sequence_for;
+};
+
+/// Bit of qubit q in an n-qubit basis label: qubit 0 is the most significant
+/// bit. For n > 64 only the *last* 64 qubits are addressable through the
+/// std::uint64_t label; qubits 0..n-65 are fixed to |0> (which covers the
+/// paper's experiments -- they all use |0...0> inputs and outputs).
+inline bool basis_bit(std::uint64_t bits, int n, int q) {
+  const int shift = n - 1 - q;
+  return shift < 64 && ((bits >> shift) & 1);
+}
+
+/// Build the tensor network of <v| gates |psi> over n qubits with
+/// computational-basis product states |psi_bits>, |v_bits>.
+/// If `conjugate` is set every tensor entry is conjugated, which evaluates
+/// <v| conj(G_d) ... conj(G_1) |psi> (the bottom layer of the doubled
+/// diagram; basis states are real so they are unaffected).
+tn::Network amplitude_network(int n, const std::vector<qc::Gate>& gates,
+                              std::uint64_t psi_bits, std::uint64_t v_bits,
+                              bool conjugate = false);
+
+/// Evaluate <v| gates |psi> (or its conjugated-gates variant).
+cplx amplitude(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_bits,
+               std::uint64_t v_bits, bool conjugate = false, const EvalOptions& opts = {},
+               tn::ContractStats* stats = nullptr);
+
+}  // namespace noisim::core

@@ -1,0 +1,57 @@
+#include "core/grid_order.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "linalg/complex.hpp"
+
+namespace noisim::core {
+
+std::vector<std::size_t> grid_sweep_sequence(int rows, int cols,
+                                             const std::vector<qc::Gate>& gates) {
+  const int n = rows * cols;
+  la::detail::require(rows > 0 && cols > 0, "grid_sweep_sequence: bad grid");
+  const std::size_t num_nodes = static_cast<std::size_t>(n) + gates.size() + static_cast<std::size_t>(n);
+
+  // Sort key: (2*row, phase, tiebreak). Input caps at (2r, 0), gates at
+  // (2*max_row + 1, 1), output caps at (2r + 1, 2) -- a row's output caps
+  // come after every gate that finishes in that row but before gates
+  // reaching deeper rows.
+  struct Key {
+    int major;
+    int phase;
+    std::size_t tie;
+  };
+  std::vector<Key> keys(num_nodes);
+
+  auto row_of = [cols](int q) { return q / cols; };
+
+  for (int q = 0; q < n; ++q)
+    keys[static_cast<std::size_t>(q)] = {2 * row_of(q), 0, static_cast<std::size_t>(q)};
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    int max_row = row_of(gates[g].qubits[0]);
+    if (gates[g].qubits[1] >= 0) max_row = std::max(max_row, row_of(gates[g].qubits[1]));
+    keys[static_cast<std::size_t>(n) + g] = {2 * max_row + 1, 1, g};
+  }
+  for (int q = 0; q < n; ++q)
+    keys[static_cast<std::size_t>(n) + gates.size() + static_cast<std::size_t>(q)] = {
+        2 * row_of(q) + 1, 2, static_cast<std::size_t>(q)};
+
+  std::vector<std::size_t> order(num_nodes);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (keys[a].major != keys[b].major) return keys[a].major < keys[b].major;
+    if (keys[a].phase != keys[b].phase) return keys[a].phase < keys[b].phase;
+    return keys[a].tie < keys[b].tie;
+  });
+  return order;
+}
+
+SequenceFor make_grid_sweep(int rows, int cols) {
+  return [rows, cols](int n, const std::vector<qc::Gate>& gates) -> std::vector<std::size_t> {
+    if (n != rows * cols) return {};
+    return grid_sweep_sequence(rows, cols, gates);
+  };
+}
+
+}  // namespace noisim::core

@@ -1,0 +1,35 @@
+#pragma once
+// Structure-aware contraction sequences for grid circuits.
+//
+// Greedy ordering handles the paper's benchmark networks but degrades on
+// large hardware grids (11x11 and up). For grid circuits the classic
+// boundary-sweep order -- absorb tensors row by row -- keeps the frontier
+// at O(cols) wires, which is what makes the 225-qubit runs fast. The
+// sequence generator below maps a gate list to the node order produced by
+// core::amplitude_network (psi caps, then one node per gate, then v caps).
+
+#include <functional>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace noisim::core {
+
+/// Generator signature used by EvalOptions::sequence_for: given the qubit
+/// count and gate list, return the node absorption order for the network
+/// built by amplitude_network(), or an empty vector to fall back to the
+/// default strategy.
+using SequenceFor =
+    std::function<std::vector<std::size_t>(int n, const std::vector<qc::Gate>& gates)>;
+
+/// Row-sweep sequence for an amplitude network over a rows x cols grid
+/// (qubit q sits at row q / cols). Absorption order: for ascending rows,
+/// the row's input caps, then every gate whose lowest-row qubit is in that
+/// row (stable in time order), then the row's output caps.
+std::vector<std::size_t> grid_sweep_sequence(int rows, int cols,
+                                             const std::vector<qc::Gate>& gates);
+
+/// Bind grid dimensions into a SequenceFor for EvalOptions.
+SequenceFor make_grid_sweep(int rows, int cols);
+
+}  // namespace noisim::core

@@ -1,0 +1,77 @@
+#include "core/observables.hpp"
+
+#include "core/doubled_network.hpp"
+
+namespace noisim::core {
+
+PauliString PauliString::parse(const std::string& s) {
+  la::detail::require(!s.empty(), "PauliString: empty string");
+  for (char c : s)
+    la::detail::require(c == 'I' || c == 'X' || c == 'Y' || c == 'Z',
+                        "PauliString: only I, X, Y, Z allowed");
+  return PauliString{s};
+}
+
+std::size_t PauliString::weight() const {
+  std::size_t w = 0;
+  for (char c : ops)
+    if (c != 'I') ++w;
+  return w;
+}
+
+namespace {
+
+// Cap tensor T[i_top, j_bottom] = P^T[i, j]: tr(P sigma) = sum_{ij}
+// P[j,i] sigma[i,j], and the doubled network's open pair (top, bottom)
+// carries sigma[i, j].
+tsr::Tensor pauli_cap(char op) {
+  tsr::Tensor t({2, 2});
+  switch (op) {
+    case 'I':
+      t.at({0, 0}) = t.at({1, 1}) = cplx{1.0, 0.0};
+      break;
+    case 'X':
+      t.at({0, 1}) = t.at({1, 0}) = cplx{1.0, 0.0};
+      break;
+    case 'Y':
+      // Y^T = [[0, i], [-i, 0]].
+      t.at({0, 1}) = cplx{0.0, 1.0};
+      t.at({1, 0}) = cplx{0.0, -1.0};
+      break;
+    case 'Z':
+      t.at({0, 0}) = cplx{1.0, 0.0};
+      t.at({1, 1}) = cplx{-1.0, 0.0};
+      break;
+    default:
+      la::detail::fail("pauli_cap: invalid operator");
+  }
+  return t;
+}
+
+}  // namespace
+
+tn::Network observable_network(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                               const PauliString& pauli) {
+  const int n = nc.num_qubits();
+  la::detail::require(pauli.num_qubits() == static_cast<std::size_t>(n),
+                      "observable_network: Pauli string width mismatch");
+
+  // The doubled diagram body; close each (top, bottom) output pair with the
+  // qubit's Pauli cap (partial trace for identity factors).
+  OpenDoubledNetwork open = doubled_network_open(nc, psi_bits);
+  for (int q = 0; q < n; ++q) {
+    open.net.add_node(pauli_cap(pauli.ops[static_cast<std::size_t>(q)]),
+                      {open.top[static_cast<std::size_t>(q)],
+                       open.bottom[static_cast<std::size_t>(q)]},
+                      std::string("P[") + pauli.ops[static_cast<std::size_t>(q)] + "]");
+  }
+  return std::move(open.net);
+}
+
+double expectation_pauli(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                         const PauliString& pauli, const tn::ContractOptions& opts,
+                         tn::ContractStats* stats) {
+  return tn::contract_to_scalar(observable_network(nc, psi_bits, pauli), opts, stats).real();
+}
+
+}  // namespace noisim::core

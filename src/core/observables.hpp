@@ -1,0 +1,44 @@
+#pragma once
+// Pauli-string observables on noisy circuits: tr(P . E(|psi><psi|)).
+//
+// The paper's conclusion points at ATPG / verification workflows, which ask
+// for expectation values rather than single fidelities. The doubled diagram
+// supports them directly: capping qubit q's top and bottom output wires
+// with the rank-2 tensor P_q^T (and the partial-trace tensor delta for
+// identity factors) evaluates tr(P sigma) exactly.
+//
+// Note: the *approximation* algorithm does not extend to these caps -- the
+// trace couples the layers at every qubit, so the split-network trick only
+// applies to fidelity-type quantities (see DESIGN.md). Evaluation here is
+// exact contraction only.
+
+#include <cstdint>
+#include <string>
+
+#include "channels/noisy_circuit.hpp"
+#include "tn/contractor.hpp"
+
+namespace noisim::core {
+
+/// A Pauli string like "IXYZ" (one letter per qubit, qubit 0 first).
+struct PauliString {
+  std::string ops;
+
+  /// Parse and validate; only characters I, X, Y, Z are allowed.
+  static PauliString parse(const std::string& s);
+  std::size_t num_qubits() const { return ops.size(); }
+  /// Number of non-identity factors.
+  std::size_t weight() const;
+};
+
+/// Build the doubled network for tr(P . E(|psi_bits><psi_bits|)).
+tn::Network observable_network(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                               const PauliString& pauli);
+
+/// Exact expectation value <P> = tr(P . E(|psi><psi|)). Real for Hermitian
+/// observables; the real part is returned.
+double expectation_pauli(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                         const PauliString& pauli, const tn::ContractOptions& opts = {},
+                         tn::ContractStats* stats = nullptr);
+
+}  // namespace noisim::core

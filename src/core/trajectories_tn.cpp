@@ -1,0 +1,58 @@
+#include "core/trajectories_tn.hpp"
+
+#include <cmath>
+
+namespace noisim::core {
+
+sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                      std::uint64_t v_bits, std::size_t samples,
+                                      std::mt19937_64& rng, const EvalOptions& eval) {
+  la::detail::require(samples > 0, "trajectories_tn: need at least one sample");
+  const int n = nc.num_qubits();
+
+  // Skeleton gate list with one placeholder per noise site + its mixture.
+  std::vector<qc::Gate> gates;
+  std::vector<std::size_t> site_gate_index;
+  std::vector<ch::UnitaryMixture> mixtures;
+  std::vector<std::discrete_distribution<std::size_t>> samplers;
+  for (const ch::Op& op : nc.ops()) {
+    if (const qc::Gate* g = std::get_if<qc::Gate>(&op)) {
+      gates.push_back(*g);
+      continue;
+    }
+    const ch::NoiseOp& noise = std::get<ch::NoiseOp>(op);
+    auto mix = noise.channel.unitary_mixture();
+    la::detail::require(mix.has_value(),
+                        "trajectories_tn: channel is not a mixture of unitaries");
+    site_gate_index.push_back(gates.size());
+    if (noise.num_qubits() == 1)
+      gates.push_back(qc::u1q(noise.qubit, la::Matrix::identity(2)));
+    else
+      gates.push_back(qc::u2q(noise.qubit, noise.qubit2, la::Matrix::identity(4)));
+    samplers.emplace_back(mix->probs.begin(), mix->probs.end());
+    mixtures.push_back(std::move(*mix));
+  }
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t site = 0; site < mixtures.size(); ++site) {
+      const std::size_t k = samplers[site](rng);
+      gates[site_gate_index[site]].custom = mixtures[site].unitaries[k];
+    }
+    const double f = std::norm(amplitude(n, gates, psi_bits, v_bits, false, eval));
+    sum += f;
+    sum_sq += f * f;
+  }
+
+  sim::TrajectoryResult out;
+  out.samples = samples;
+  out.mean = sum / static_cast<double>(samples);
+  if (samples > 1) {
+    const double var =
+        (sum_sq - sum * sum / static_cast<double>(samples)) / static_cast<double>(samples - 1);
+    out.std_error = std::sqrt(std::max(0.0, var) / static_cast<double>(samples));
+  }
+  return out;
+}
+
+}  // namespace noisim::core

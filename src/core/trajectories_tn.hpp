@@ -1,0 +1,27 @@
+#pragma once
+// TN-based quantum trajectories: the paper's "Traj (TN)" baseline
+// (Table III).
+//
+// For channels that are probabilistic mixtures of unitaries (depolarizing,
+// Pauli channels, ...) the Kraus sampling probabilities are state
+// independent, so each trajectory reduces to one noiseless amplitude
+// evaluation of the circuit with sampled unitary insertions -- computed by
+// tensor network contraction, which is what lets this baseline scale past
+// the state-vector variant's memory wall.
+
+#include <cstdint>
+#include <random>
+
+#include "channels/noisy_circuit.hpp"
+#include "core/circuit_network.hpp"
+#include "sim/trajectories.hpp"
+
+namespace noisim::core {
+
+/// Estimate <v|E(|psi><psi|)|v> with `samples` TN trajectories. Throws
+/// LinalgError if any noise channel is not a mixture of unitaries.
+sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                      std::uint64_t v_bits, std::size_t samples,
+                                      std::mt19937_64& rng, const EvalOptions& eval = {});
+
+}  // namespace noisim::core

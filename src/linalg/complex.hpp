@@ -1,0 +1,63 @@
+#pragma once
+// Scalar type and numeric helpers shared by the whole library.
+//
+// noisim uses double-precision complex arithmetic throughout; the paper's
+// algorithm is sensitive to singular-value magnitudes near machine epsilon,
+// so all tolerances are centralized here.
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <string>
+
+namespace noisim {
+
+using cplx = std::complex<double>;
+
+inline constexpr double kDefaultTol = 1e-10;
+
+/// |a - b| within tol, elementwise on complex scalars.
+inline bool approx_equal(cplx a, cplx b, double tol = kDefaultTol) {
+  return std::abs(a - b) <= tol;
+}
+
+inline bool approx_equal(double a, double b, double tol = kDefaultTol) {
+  return std::abs(a - b) <= tol;
+}
+
+/// Exception thrown on violated preconditions (dimension mismatches etc.).
+/// A dedicated type lets tests assert on the *category* of failure.
+class LinalgError : public std::logic_error {
+ public:
+  explicit LinalgError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Exception thrown when an intermediate object would exceed the configured
+/// memory budget. Benchmarks catch this to report "MO" like the paper.
+class MemoryOutError : public std::runtime_error {
+ public:
+  explicit MemoryOutError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Exception thrown when a computation exceeds its wall-clock deadline.
+/// Benchmarks catch this to report "TO" like the paper.
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const std::string& msg) { throw LinalgError(msg); }
+
+inline void require(bool cond, const char* msg) {
+  if (!cond) fail(msg);
+}
+}  // namespace detail
+
+// Every module refers to the precondition helpers as la::detail::require;
+// keep them in one place and alias them into the linalg namespace.
+namespace la {
+namespace detail = noisim::detail;
+}
+
+}  // namespace noisim

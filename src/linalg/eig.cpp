@@ -1,0 +1,86 @@
+#include "linalg/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace noisim::la {
+
+EigResult eigh(const Matrix& a, double herm_tol) {
+  detail::require(a.is_square(), "eigh: non-square matrix");
+  detail::require(a.is_hermitian(herm_tol), "eigh: matrix is not Hermitian");
+  const std::size_t n = a.rows();
+
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  const int max_sweeps = 80;
+  const double eps = 1e-14;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += std::norm(d(p, q));
+    if (off < eps * eps) break;
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cplx apq = d(p, q);
+        const double mag = std::abs(apq);
+        if (mag < eps) continue;
+
+        const cplx phase = apq / mag;
+        const double app = d(p, p).real();
+        const double aqq = d(q, q).real();
+        const double tau = (aqq - app) / (2.0 * mag);
+        const double t = (tau >= 0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+
+        // Unitary plane rotation J acting on rows/cols p, q:
+        //   J = [[cs, sn * phase], [-sn * conj(phase), cs]] applied as J^dag D J.
+        for (std::size_t i = 0; i < n; ++i) {  // column update D <- D * J
+          const cplx dip = d(i, p);
+          const cplx diq = d(i, q) * std::conj(phase);
+          d(i, p) = cs * dip - sn * diq;
+          d(i, q) = sn * dip + cs * diq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {  // row update D <- J^dag * D
+          const cplx dpi = d(p, i);
+          const cplx dqi = d(q, i) * phase;
+          d(p, i) = cs * dpi - sn * dqi;
+          d(q, i) = sn * dpi + cs * dqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {  // accumulate V <- V * J
+          const cplx vip = v(i, p);
+          const cplx viq = v(i, q) * std::conj(phase);
+          v(i, p) = cs * vip - sn * viq;
+          v(i, q) = sn * vip + cs * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = d(i, i).real();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) { return w[x] < w[y]; });
+
+  EigResult out;
+  out.w.resize(n);
+  out.v = Matrix(n, n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    out.w[jj] = w[order[jj]];
+    for (std::size_t i = 0; i < n; ++i) out.v(i, jj) = v(i, order[jj]);
+  }
+  return out;
+}
+
+bool is_positive_semidefinite(const Matrix& a, double tol) {
+  if (!a.is_hermitian(tol)) return false;
+  const EigResult e = eigh(a, tol);
+  return e.w.empty() || e.w.front() >= -tol;
+}
+
+}  // namespace noisim::la

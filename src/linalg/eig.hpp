@@ -1,0 +1,26 @@
+#pragma once
+// Hermitian eigendecomposition via the classical (two-sided) Jacobi method.
+//
+// Used for CPTP validation (Choi-matrix positive semidefiniteness) and for
+// analytic cross-checks of noise rates: for Hermitian M, the spectral norm
+// equals max |eigenvalue|.
+
+#include "linalg/matrix.hpp"
+
+namespace noisim::la {
+
+/// Result of A = V * diag(w) * V^dagger for Hermitian A;
+/// eigenvalues ascend, eigenvectors are the columns of V.
+struct EigResult {
+  std::vector<double> w;
+  Matrix v;
+};
+
+/// Eigendecomposition of a Hermitian matrix. Throws LinalgError when the
+/// input is not Hermitian to `herm_tol`.
+EigResult eigh(const Matrix& a, double herm_tol = 1e-8);
+
+/// True iff the Hermitian matrix is positive semidefinite to tolerance.
+bool is_positive_semidefinite(const Matrix& a, double tol = 1e-9);
+
+}  // namespace noisim::la

@@ -1,0 +1,275 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace noisim::la {
+
+// ---------------------------------------------------------------------------
+// Vector
+
+Vector Vector::conj() const {
+  Vector out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = std::conj(data_[i]);
+  return out;
+}
+
+double Vector::norm2() const {
+  double s = 0.0;
+  for (const cplx& x : data_) s += std::norm(x);
+  return s;
+}
+
+double Vector::norm() const { return std::sqrt(norm2()); }
+
+void Vector::normalize() {
+  const double n = norm();
+  detail::require(n > 0.0, "Vector::normalize: zero vector");
+  for (cplx& x : data_) x /= n;
+}
+
+Vector& Vector::operator+=(const Vector& o) {
+  detail::require(size() == o.size(), "Vector::operator+=: size mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& o) {
+  detail::require(size() == o.size(), "Vector::operator-=: size mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(cplx s) {
+  for (cplx& x : data_) x *= s;
+  return *this;
+}
+
+bool Vector::approx_equal(const Vector& o, double tol) const {
+  if (size() != o.size()) return false;
+  for (std::size_t i = 0; i < size(); ++i)
+    if (!noisim::approx_equal(data_[i], o.data_[i], tol)) return false;
+  return true;
+}
+
+cplx dot(const Vector& a, const Vector& b) {
+  detail::require(a.size() == b.size(), "dot: size mismatch");
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+Vector kron(const Vector& a, const Vector& b) {
+  Vector out(a.size() * b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) out[i * b.size() + j] = a[i] * b[j];
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Matrix
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<cplx>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    detail::require(r.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = cplx{1.0, 0.0};
+  return m;
+}
+
+Matrix Matrix::zero(std::size_t rows, std::size_t cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::diag(const std::vector<cplx>& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::outer(const Vector& a, const Vector& b) {
+  Matrix m(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) m(i, j) = a[i] * std::conj(b[j]);
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::conj() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = std::conj(data_[i]);
+  return out;
+}
+
+Matrix Matrix::adjoint() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+cplx Matrix::trace() const {
+  detail::require(is_square(), "Matrix::trace: non-square");
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < rows_; ++i) s += (*this)(i, i);
+  return s;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (const cplx& x : data_) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (const cplx& x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  detail::require(rows_ == o.rows_ && cols_ == o.cols_, "Matrix::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  detail::require(rows_ == o.rows_ && cols_ == o.cols_, "Matrix::operator-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(cplx s) {
+  for (cplx& x : data_) x *= s;
+  return *this;
+}
+
+bool Matrix::approx_equal(const Matrix& o, double tol) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (!noisim::approx_equal(data_[i], o.data_[i], tol)) return false;
+  return true;
+}
+
+bool Matrix::is_identity(double tol) const {
+  if (!is_square()) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const cplx want = (r == c) ? cplx{1.0, 0.0} : cplx{0.0, 0.0};
+      if (!noisim::approx_equal((*this)(r, c), want, tol)) return false;
+    }
+  return true;
+}
+
+bool Matrix::is_hermitian(double tol) const {
+  if (!is_square()) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r; c < cols_; ++c)
+      if (!noisim::approx_equal((*this)(r, c), std::conj((*this)(c, r)), tol)) return false;
+  return true;
+}
+
+bool Matrix::is_unitary(double tol) const {
+  if (!is_square()) return false;
+  return (adjoint() * (*this)).is_identity(tol);
+}
+
+bool Matrix::is_diagonal(double tol) const {
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (r != c && std::abs((*this)(r, c)) > tol) return false;
+  return true;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  detail::require(a.cols() == b.rows(), "Matrix::operator*: inner dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  // ikj order: stream over b's rows so the inner loop is contiguous.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    cplx* out_row = out.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const cplx aik = a(i, k);
+      if (aik == cplx{0.0, 0.0}) continue;
+      const cplx* b_row = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Vector operator*(const Matrix& m, const Vector& v) {
+  detail::require(m.cols() == v.size(), "Matrix*Vector: dimension mismatch");
+  Vector out(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    cplx s{0.0, 0.0};
+    const cplx* row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) s += row[c] * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+Matrix kron(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const cplx aij = a(i, j);
+      if (aij == cplx{0.0, 0.0}) continue;
+      for (std::size_t k = 0; k < b.rows(); ++k)
+        for (std::size_t l = 0; l < b.cols(); ++l)
+          out(i * b.rows() + k, j * b.cols() + l) = aij * b(k, l);
+    }
+  return out;
+}
+
+Vector vec(const Matrix& m) {
+  Vector v(m.rows() * m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) v[r * m.cols() + c] = m(r, c);
+  return v;
+}
+
+Matrix unvec(const Vector& v, std::size_t rows, std::size_t cols) {
+  detail::require(v.size() == rows * cols, "unvec: size mismatch");
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = v[r * cols + c];
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[[" : " [");
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const cplx x = m(r, c);
+      os << x.real() << (x.imag() >= 0 ? "+" : "") << x.imag() << "i";
+      if (c + 1 < m.cols()) os << ", ";
+    }
+    os << (r + 1 == m.rows() ? "]]" : "]\n");
+  }
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vector& v) {
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const cplx x = v[i];
+    os << x.real() << (x.imag() >= 0 ? "+" : "") << x.imag() << "i";
+    if (i + 1 < v.size()) os << ", ";
+  }
+  return os << "]";
+}
+
+}  // namespace noisim::la

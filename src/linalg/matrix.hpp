@@ -1,0 +1,140 @@
+#pragma once
+// Dense complex matrices and vectors.
+//
+// This is the numeric substrate for the whole library. Quantum objects are
+// small (gates are 2x2 / 4x4, superoperators 4x4) but density-matrix
+// simulation uses matrices up to 2^n x 2^n, so the implementation keeps
+// cache-friendly row-major storage and an ikj-ordered multiply.
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "linalg/complex.hpp"
+
+namespace noisim::la {
+
+/// Dense complex column vector.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n) : data_(n, cplx{0.0, 0.0}) {}
+  Vector(std::initializer_list<cplx> xs) : data_(xs) {}
+
+  std::size_t size() const { return data_.size(); }
+  cplx& operator[](std::size_t i) { return data_[i]; }
+  const cplx& operator[](std::size_t i) const { return data_[i]; }
+
+  cplx* data() { return data_.data(); }
+  const cplx* data() const { return data_.data(); }
+
+  /// Entry-wise complex conjugate.
+  Vector conj() const;
+  /// Euclidean norm.
+  double norm() const;
+  /// Squared Euclidean norm.
+  double norm2() const;
+  /// Scale in place so that norm() == 1. Throws on the zero vector.
+  void normalize();
+
+  Vector& operator+=(const Vector& o);
+  Vector& operator-=(const Vector& o);
+  Vector& operator*=(cplx s);
+
+  friend Vector operator+(Vector a, const Vector& b) { return a += b; }
+  friend Vector operator-(Vector a, const Vector& b) { return a -= b; }
+  friend Vector operator*(cplx s, Vector v) { return v *= s; }
+
+  bool approx_equal(const Vector& o, double tol = kDefaultTol) const;
+
+ private:
+  std::vector<cplx> data_;
+};
+
+/// Hermitian inner product <a|b> (conjugate-linear in the first argument).
+cplx dot(const Vector& a, const Vector& b);
+
+/// Kronecker product of vectors: (a kron b)[i*nb + j] = a[i] * b[j].
+Vector kron(const Vector& a, const Vector& b);
+
+/// Dense row-major complex matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+  /// Construct from nested initializer lists; all rows must agree in length.
+  Matrix(std::initializer_list<std::initializer_list<cplx>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zero(std::size_t rows, std::size_t cols);
+  /// Diagonal matrix from the given entries.
+  static Matrix diag(const std::vector<cplx>& d);
+  /// Rank-1 outer product |a><b| (b enters conjugated).
+  static Matrix outer(const Vector& a, const Vector& b);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool is_square() const { return rows_ == cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  cplx* data() { return data_.data(); }
+  const cplx* data() const { return data_.data(); }
+  cplx* row(std::size_t r) { return data_.data() + r * cols_; }
+  const cplx* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  Matrix transpose() const;
+  /// Entry-wise conjugate (no transpose).
+  Matrix conj() const;
+  /// Conjugate transpose (dagger).
+  Matrix adjoint() const;
+
+  cplx trace() const;
+  double frobenius_norm() const;
+  /// Largest entry magnitude.
+  double max_abs() const;
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(cplx s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(cplx s, Matrix m) { return m *= s; }
+
+  bool approx_equal(const Matrix& o, double tol = kDefaultTol) const;
+  bool is_identity(double tol = kDefaultTol) const;
+  bool is_hermitian(double tol = kDefaultTol) const;
+  bool is_unitary(double tol = kDefaultTol) const;
+  bool is_diagonal(double tol = kDefaultTol) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// Matrix product (ikj loop order; dimensions must agree).
+Matrix operator*(const Matrix& a, const Matrix& b);
+/// Matrix-vector product.
+Vector operator*(const Matrix& m, const Vector& v);
+
+/// Kronecker product: (A kron B)[(i*rB + k), (j*cB + l)] = A(i,j) * B(k,l).
+Matrix kron(const Matrix& a, const Matrix& b);
+
+/// Column-major vectorization is NOT used anywhere in noisim; vec() is
+/// row-major: vec(M)[r*cols + c] = M(r, c). This matches the tensor module's
+/// row-major reshape, which keeps the superoperator conventions consistent.
+Vector vec(const Matrix& m);
+/// Inverse of vec() for square matrices of dimension n.
+Matrix unvec(const Vector& v, std::size_t rows, std::size_t cols);
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+std::ostream& operator<<(std::ostream& os, const Vector& v);
+
+}  // namespace noisim::la

@@ -1,0 +1,63 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+namespace noisim::la {
+
+QrResult qr(const Matrix& a) {
+  detail::require(a.rows() >= a.cols(), "qr: requires rows >= cols");
+  const std::size_t m = a.rows(), n = a.cols();
+  Matrix q = a;
+  Matrix r(n, n);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // Re-orthogonalize against previous columns (twice-is-enough MGS).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t k = 0; k < j; ++k) {
+        cplx proj{0.0, 0.0};
+        for (std::size_t i = 0; i < m; ++i) proj += std::conj(q(i, k)) * q(i, j);
+        r(k, j) += proj;
+        for (std::size_t i = 0; i < m; ++i) q(i, j) -= proj * q(i, k);
+      }
+    }
+    double nj = 0.0;
+    for (std::size_t i = 0; i < m; ++i) nj += std::norm(q(i, j));
+    nj = std::sqrt(nj);
+    r(j, j) = nj;
+    detail::require(nj > 1e-300, "qr: rank-deficient input");
+    for (std::size_t i = 0; i < m; ++i) q(i, j) /= nj;
+  }
+  return {std::move(q), std::move(r)};
+}
+
+Matrix random_ginibre(std::size_t rows, std::size_t cols, std::mt19937_64& rng) {
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  Matrix g(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) g(i, j) = cplx{gauss(rng), gauss(rng)};
+  return g;
+}
+
+Matrix random_unitary(std::size_t n, std::mt19937_64& rng) {
+  const Matrix g = random_ginibre(n, n, rng);
+  QrResult f = qr(g);
+  // Fix the phases: multiply column j by conj(phase(R(j,j))) so that the
+  // distribution is Haar rather than biased by QR's sign convention.
+  for (std::size_t j = 0; j < n; ++j) {
+    const cplx rjj = f.r(j, j);
+    const double mag = std::abs(rjj);
+    const cplx ph = (mag > 0.0) ? rjj / mag : cplx{1.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) f.q(i, j) *= std::conj(ph);
+  }
+  return std::move(f.q);
+}
+
+Vector random_state(std::size_t n, std::mt19937_64& rng) {
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = cplx{gauss(rng), gauss(rng)};
+  v.normalize();
+  return v;
+}
+
+}  // namespace noisim::la

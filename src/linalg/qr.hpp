@@ -1,0 +1,34 @@
+#pragma once
+// QR factorization (modified Gram-Schmidt) and Haar-random unitaries.
+//
+// Random unitaries drive the property-based tests: a Haar-random gate is the
+// adversarial case for approximation identities that must hold for *all*
+// unitaries, not just Cliffords.
+
+#include <cstdint>
+#include <random>
+
+#include "linalg/matrix.hpp"
+
+namespace noisim::la {
+
+/// Thin QR: A = Q * R with Q having orthonormal columns (rows x cols,
+/// requires rows >= cols) and R upper triangular.
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+QrResult qr(const Matrix& a);
+
+/// Haar-distributed random unitary of dimension n (Ginibre + QR with the
+/// standard phase fix so the distribution is exactly Haar).
+Matrix random_unitary(std::size_t n, std::mt19937_64& rng);
+
+/// Random complex matrix with iid standard normal entries.
+Matrix random_ginibre(std::size_t rows, std::size_t cols, std::mt19937_64& rng);
+
+/// Random normalized state vector of dimension n.
+Vector random_state(std::size_t n, std::mt19937_64& rng);
+
+}  // namespace noisim::la

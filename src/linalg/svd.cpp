@@ -1,0 +1,142 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace noisim::la {
+
+Matrix SvdResult::reconstruct() const {
+  Matrix sv(s.size(), v.rows());  // diag(S) * V^dagger
+  for (std::size_t i = 0; i < s.size(); ++i)
+    for (std::size_t j = 0; j < v.rows(); ++j) sv(i, j) = s[i] * std::conj(v(j, i));
+  return u * sv;
+}
+
+std::size_t SvdResult::rank(double tol) const {
+  if (s.empty() || s[0] == 0.0) return 0;
+  std::size_t r = 0;
+  for (double x : s)
+    if (x > tol * s[0]) ++r;
+  return r;
+}
+
+namespace {
+
+// One-sided Jacobi on the columns of B (rows >= cols). Rotates column pairs
+// until all pairs are orthogonal; accumulates the rotations into V so that
+// A = B_final_normalized * diag(norms) * V^dagger.
+SvdResult jacobi_svd_tall(const Matrix& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  Matrix b = a;
+  Matrix v = Matrix::identity(n);
+
+  const double eps = 1e-14;
+  const int max_sweeps = 60;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries of the (p, q) column pair.
+        double app = 0.0, aqq = 0.0;
+        cplx apq{0.0, 0.0};
+        for (std::size_t i = 0; i < m; ++i) {
+          app += std::norm(b(i, p));
+          aqq += std::norm(b(i, q));
+          apq += std::conj(b(i, p)) * b(i, q);
+        }
+        const double mag = std::abs(apq);
+        if (mag <= eps * std::sqrt(app * aqq) || mag == 0.0) continue;
+        off += mag;
+
+        // Phase so the effective off-diagonal entry is real: apq = mag*e^{i*phi}.
+        const cplx phase = apq / mag;
+        // Jacobi rotation for the real symmetric 2x2 [[app, mag], [mag, aqq]].
+        const double tau = (aqq - app) / (2.0 * mag);
+        const double t = (tau >= 0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+
+        // Columns update: [bp, bq] <- [bp, bq] * [[cs, sn*phase], [-sn*conj(phase)... ]]
+        // with the phase folded into column q first.
+        for (std::size_t i = 0; i < m; ++i) {
+          const cplx bp = b(i, p);
+          const cplx bq = b(i, q) * std::conj(phase);
+          b(i, p) = cs * bp - sn * bq;
+          b(i, q) = sn * bp + cs * bq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const cplx vp = v(i, p);
+          const cplx vq = v(i, q) * std::conj(phase);
+          v(i, p) = cs * vp - sn * vq;
+          v(i, q) = sn * vp + cs * vq;
+        }
+      }
+    }
+    if (off == 0.0) break;
+  }
+
+  // Column norms are the singular values; normalized columns form U.
+  std::vector<double> s(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double nj = 0.0;
+    for (std::size_t i = 0; i < m; ++i) nj += std::norm(b(i, j));
+    s[j] = std::sqrt(nj);
+  }
+
+  // Sort descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) { return s[x] > s[y]; });
+
+  SvdResult out;
+  out.s.resize(n);
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    out.s[jj] = s[j];
+    if (s[j] > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) out.u(i, jj) = b(i, j) / s[j];
+    } else {
+      // Zero singular value: leave the U column zero; callers treat the
+      // triplet as absent (rank() excludes it).
+      for (std::size_t i = 0; i < m; ++i) out.u(i, jj) = cplx{0.0, 0.0};
+    }
+    for (std::size_t i = 0; i < n; ++i) out.v(i, jj) = v(i, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+SvdResult svd(const Matrix& a) {
+  detail::require(a.rows() > 0 && a.cols() > 0, "svd: empty matrix");
+  if (a.rows() >= a.cols()) return jacobi_svd_tall(a);
+  // Wide matrix: SVD of the adjoint and swap factors.
+  // A^dagger = U S V^dagger  =>  A = V S U^dagger.
+  SvdResult t = jacobi_svd_tall(a.adjoint());
+  SvdResult out;
+  out.u = std::move(t.v);
+  out.v = std::move(t.u);
+  out.s = std::move(t.s);
+  return out;
+}
+
+double spectral_norm(const Matrix& a) {
+  const SvdResult r = svd(a);
+  return r.s.empty() ? 0.0 : r.s.front();
+}
+
+Matrix truncated_svd_approx(const Matrix& a, std::size_t r) {
+  const SvdResult d = svd(a);
+  const std::size_t k = std::min(r, d.s.size());
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t t = 0; t < k; ++t)
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      for (std::size_t j = 0; j < a.cols(); ++j)
+        out(i, j) += d.s[t] * d.u(i, t) * std::conj(d.v(j, t));
+  return out;
+}
+
+}  // namespace noisim::la

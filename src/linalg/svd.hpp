@@ -1,0 +1,38 @@
+#pragma once
+// Complex singular value decomposition via one-sided Jacobi rotations.
+//
+// The paper's algorithm needs SVDs of 4x4 superoperator tensors and spectral
+// norms of small matrices (noise rates). One-sided Jacobi is numerically
+// robust for these sizes, has no external dependencies, and converges
+// quadratically once the columns are nearly orthogonal.
+
+#include "linalg/matrix.hpp"
+
+namespace noisim::la {
+
+/// Result of a thin SVD: A = U * diag(S) * V^dagger, with
+///   U:  rows(A) x k,   S: k descending non-negative,   V: cols(A) x k,
+/// where k = min(rows, cols).
+struct SvdResult {
+  Matrix u;
+  std::vector<double> s;
+  Matrix v;
+
+  /// Reassemble U * diag(S) * V^dagger (for testing).
+  Matrix reconstruct() const;
+  /// Number of singular values greater than tol * s[0].
+  std::size_t rank(double tol = 1e-12) const;
+};
+
+/// Thin SVD of an arbitrary complex matrix.
+SvdResult svd(const Matrix& a);
+
+/// Largest singular value (matrix 2-norm). This is the norm used by the
+/// paper's definition of the noise rate ||M_E - I||.
+double spectral_norm(const Matrix& a);
+
+/// Best rank-r approximation in the 2-norm / Frobenius norm sense
+/// (Eckart-Young-Mirsky): keep the r dominant singular triplets.
+Matrix truncated_svd_approx(const Matrix& a, std::size_t r);
+
+}  // namespace noisim::la

@@ -1,0 +1,194 @@
+#include "mps/mps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/svd.hpp"
+#include "tensor/contract.hpp"
+
+namespace noisim::mps {
+
+namespace {
+
+bool bit_of(std::uint64_t bits, int n, int q) {
+  const int shift = n - 1 - q;
+  return shift < 64 && ((bits >> shift) & 1);
+}
+
+la::Matrix swap_matrix() {
+  la::Matrix m(4, 4);
+  m(0, 0) = m(3, 3) = 1;
+  m(1, 2) = m(2, 1) = 1;
+  return m;
+}
+
+// Reverse the roles of the two qubits of a 4x4 matrix:
+// out[(i2 i1), (j2 j1)] = in[(i1 i2), (j1 j2)].
+la::Matrix reverse_qubit_roles(const la::Matrix& m) {
+  la::Matrix out(4, 4);
+  for (std::size_t i1 = 0; i1 < 2; ++i1)
+    for (std::size_t i2 = 0; i2 < 2; ++i2)
+      for (std::size_t j1 = 0; j1 < 2; ++j1)
+        for (std::size_t j2 = 0; j2 < 2; ++j2)
+          out(i2 * 2 + i1, j2 * 2 + j1) = m(i1 * 2 + i2, j1 * 2 + j2);
+  return out;
+}
+
+}  // namespace
+
+MpsState::MpsState(int n, MpsOptions opts) : n_(n), opts_(opts) {
+  la::detail::require(n > 0, "MpsState: need at least one qubit");
+  la::detail::require(opts_.max_bond >= 1, "MpsState: max_bond must be positive");
+  sites_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    tsr::Tensor t({1, 2, 1});
+    t.at({0, 0, 0}) = cplx{1.0, 0.0};
+    sites_.push_back(std::move(t));
+  }
+}
+
+MpsState MpsState::basis(int n, std::uint64_t bits, MpsOptions opts) {
+  MpsState s(n, opts);
+  for (int q = 0; q < n; ++q) {
+    if (bit_of(bits, n, q)) {
+      tsr::Tensor t({1, 2, 1});
+      t.at({0, 1, 0}) = cplx{1.0, 0.0};
+      s.sites_[static_cast<std::size_t>(q)] = std::move(t);
+    }
+  }
+  return s;
+}
+
+std::size_t MpsState::bond_dim(int i) const {
+  la::detail::require(i >= 0 && i + 1 < n_, "MpsState::bond_dim: out of range");
+  return sites_[static_cast<std::size_t>(i)].dim(2);
+}
+
+std::size_t MpsState::max_bond_dim() const {
+  std::size_t m = 1;
+  for (int i = 0; i + 1 < n_; ++i) m = std::max(m, bond_dim(i));
+  return m;
+}
+
+void MpsState::apply_1q(const la::Matrix& m, int q) {
+  la::detail::require(m.rows() == 2 && m.cols() == 2, "MpsState::apply_1q: need 2x2");
+  la::detail::require(q >= 0 && q < n_, "MpsState::apply_1q: qubit out of range");
+  tsr::Tensor& site = sites_[static_cast<std::size_t>(q)];
+  // [out, left, right] <- sum_i m[out, i] site[left, i, right], then reorder.
+  site = tsr::contract(tsr::Tensor::from_matrix(m), {1}, site, {1}).permute({1, 0, 2});
+}
+
+void MpsState::apply_2q_adjacent(const la::Matrix& m, int q) {
+  const auto qi = static_cast<std::size_t>(q);
+  const std::size_t dl = sites_[qi].dim(0);
+  const std::size_t dr = sites_[qi + 1].dim(2);
+
+  // theta[l, p1, p2, r]
+  tsr::Tensor theta = tsr::contract(sites_[qi], {2}, sites_[qi + 1], {0});
+  // gate as [o1, o2, i1, i2]; apply -> [o1, o2, l, r] -> [l, o1, o2, r]
+  tsr::Tensor g = tsr::Tensor::from_matrix(m).reshape({2, 2, 2, 2});
+  theta = tsr::contract(g, {2, 3}, theta, {1, 2}).permute({2, 0, 1, 3});
+
+  // SVD across the bond.
+  const la::SvdResult svd = la::svd(theta.reshape({dl * 2, 2 * dr}).to_matrix());
+
+  // Truncate: relative tolerance + hard cap.
+  const double smax = svd.s.empty() ? 0.0 : svd.s.front();
+  std::size_t keep = 0;
+  for (double s : svd.s)
+    if (s > opts_.truncation_tol * smax) ++keep;
+  keep = std::max<std::size_t>(1, std::min(keep, opts_.max_bond));
+  for (std::size_t i = keep; i < svd.s.size(); ++i) truncated_weight_ += svd.s[i] * svd.s[i];
+
+  tsr::Tensor a({dl, 2, keep});
+  for (std::size_t row = 0; row < dl * 2; ++row)
+    for (std::size_t k = 0; k < keep; ++k) a[row * keep + k] = svd.u(row, k);
+  tsr::Tensor b({keep, 2, dr});
+  for (std::size_t k = 0; k < keep; ++k)
+    for (std::size_t col = 0; col < 2 * dr; ++col)
+      b[k * 2 * dr + col] = svd.s[k] * std::conj(svd.v(col, k));
+
+  sites_[qi] = std::move(a);
+  sites_[qi + 1] = std::move(b);
+}
+
+void MpsState::swap_adjacent(int q) { apply_2q_adjacent(swap_matrix(), q); }
+
+void MpsState::apply_2q(const la::Matrix& m, int a, int b) {
+  la::detail::require(m.rows() == 4 && m.cols() == 4, "MpsState::apply_2q: need 4x4");
+  la::detail::require(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b,
+                      "MpsState::apply_2q: qubits out of range");
+  la::Matrix gate = m;
+  int lo = a, hi = b;
+  if (lo > hi) {
+    std::swap(lo, hi);
+    gate = reverse_qubit_roles(gate);
+  }
+  // Route qubit `hi` down to lo+1 with swaps, apply, route back.
+  for (int k = hi - 1; k > lo; --k) swap_adjacent(k);
+  apply_2q_adjacent(gate, lo);
+  for (int k = lo + 1; k < hi; ++k) swap_adjacent(k);
+}
+
+void MpsState::apply_gate(const qc::Gate& g) {
+  if (g.num_qubits() == 1)
+    apply_1q(g.matrix(), g.qubits[0]);
+  else
+    apply_2q(g.matrix(), g.qubits[0], g.qubits[1]);
+}
+
+void MpsState::apply_circuit(const qc::Circuit& c) {
+  la::detail::require(c.num_qubits() == n_, "MpsState::apply_circuit: width mismatch");
+  for (const qc::Gate& g : c.gates()) apply_gate(g);
+}
+
+cplx MpsState::amplitude(std::uint64_t bits) const {
+  // Row vector sweep: v <- v * site[:, bit, :].
+  std::vector<cplx> v{cplx{1.0, 0.0}};
+  for (int q = 0; q < n_; ++q) {
+    const tsr::Tensor& site = sites_[static_cast<std::size_t>(q)];
+    const std::size_t dl = site.dim(0), dr = site.dim(2);
+    const std::size_t bit = bit_of(bits, n_, q) ? 1 : 0;
+    std::vector<cplx> next(dr, cplx{0.0, 0.0});
+    for (std::size_t l = 0; l < dl; ++l) {
+      if (v[l] == cplx{0.0, 0.0}) continue;
+      for (std::size_t r = 0; r < dr; ++r) next[r] += v[l] * site.at({l, bit, r});
+    }
+    v = std::move(next);
+  }
+  return v[0];
+}
+
+cplx MpsState::inner(const MpsState& other) const {
+  la::detail::require(n_ == other.n_, "MpsState::inner: width mismatch");
+  // Transfer-matrix sweep: T[a, b] across the bond.
+  tsr::Tensor t({1, 1});
+  t[0] = cplx{1.0, 0.0};
+  for (int q = 0; q < n_; ++q) {
+    const tsr::Tensor bra = sites_[static_cast<std::size_t>(q)].conj();
+    const tsr::Tensor& ket = other.sites_[static_cast<std::size_t>(q)];
+    // T'[a', b'] = sum_{a,b,p} conj(A)[a, p, a'] T[a, b] B[b, p, b']
+    tsr::Tensor ta = tsr::contract(t, {0}, bra, {0});       // [b, p, a']
+    t = tsr::contract(ta, {0, 1}, ket, {0, 1});             // [a', b']
+  }
+  return t[0];
+}
+
+double MpsState::norm2() const { return inner(*this).real(); }
+
+void MpsState::normalize() {
+  const double n2 = norm2();
+  la::detail::require(n2 > 0.0, "MpsState::normalize: zero state");
+  const double scale = 1.0 / std::sqrt(n2);
+  la::Matrix m{{scale, 0.0}, {0.0, scale}};
+  apply_1q(m, 0);
+}
+
+la::Vector MpsState::to_vector() const {
+  la::detail::require(n_ <= 20, "MpsState::to_vector: too many qubits");
+  la::Vector out(std::size_t{1} << n_);
+  for (std::uint64_t b = 0; b < out.size(); ++b) out[b] = amplitude(b);
+  return out;
+}
+
+}  // namespace noisim::mps

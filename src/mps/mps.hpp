@@ -1,0 +1,74 @@
+#pragma once
+// Matrix product state simulator with SVD truncation.
+//
+// This implements the approximation family the paper's related work
+// compares against (MPS [20], and the backbone of MPO/MPDO methods
+// [21-23]): the state is a chain of rank-3 tensors [left, physical, right];
+// two-qubit gates act on adjacent sites via contraction + truncated SVD,
+// non-adjacent gates are routed with swap chains. The bond cap chi trades
+// accuracy for time/memory -- the trade-off bench_ablation_mps quantifies
+// against the paper's SVD-splitting approach.
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "tensor/tensor.hpp"
+
+namespace noisim::mps {
+
+struct MpsOptions {
+  /// Bond-dimension cap (chi). Exact simulation needs up to 2^(n/2).
+  std::size_t max_bond = 64;
+  /// Relative singular-value cutoff: values below tol * s_max are dropped.
+  double truncation_tol = 1e-14;
+};
+
+class MpsState {
+ public:
+  /// |0...0> on n qubits.
+  explicit MpsState(int n, MpsOptions opts = {});
+  /// Computational basis state (qubit 0 = most significant bit; for n > 64
+  /// the leading qubits are |0>).
+  static MpsState basis(int n, std::uint64_t bits, MpsOptions opts = {});
+
+  int num_qubits() const { return n_; }
+  const MpsOptions& options() const { return opts_; }
+
+  /// Bond dimension between sites i and i+1.
+  std::size_t bond_dim(int i) const;
+  std::size_t max_bond_dim() const;
+
+  /// Apply an arbitrary 2x2 matrix to qubit q (never truncates).
+  void apply_1q(const la::Matrix& m, int q);
+  /// Apply an arbitrary 4x4 matrix to qubits (a, b); a indexes the high
+  /// bit. Non-adjacent pairs are routed with swap chains; truncation to
+  /// max_bond applies at every SVD.
+  void apply_2q(const la::Matrix& m, int a, int b);
+  void apply_gate(const qc::Gate& g);
+  void apply_circuit(const qc::Circuit& c);
+
+  /// <bits|psi>.
+  cplx amplitude(std::uint64_t bits) const;
+  /// <this|other> (same width required).
+  cplx inner(const MpsState& other) const;
+  double norm2() const;
+  void normalize();
+
+  /// Total squared singular weight discarded by truncations so far;
+  /// zero means the simulation has been exact.
+  double truncation_weight() const { return truncated_weight_; }
+
+  /// Dense amplitude vector (n <= 20; testing).
+  la::Vector to_vector() const;
+
+ private:
+  void apply_2q_adjacent(const la::Matrix& m, int q);  // acts on (q, q+1)
+  void swap_adjacent(int q);
+
+  int n_;
+  MpsOptions opts_;
+  std::vector<tsr::Tensor> sites_;  // rank-3: [left, phys, right]
+  double truncated_weight_ = 0.0;
+};
+
+}  // namespace noisim::mps

@@ -1,0 +1,76 @@
+#include "mps/mps_trajectories.hpp"
+
+#include <cmath>
+
+namespace noisim::mps {
+
+namespace {
+
+double sample_once(const ch::NoisyCircuit& nc, std::uint64_t psi_bits, std::uint64_t v_bits,
+                   std::mt19937_64& rng, const MpsOptions& opts) {
+  MpsState state = MpsState::basis(nc.num_qubits(), psi_bits, opts);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+
+  for (const ch::Op& op : nc.ops()) {
+    if (const qc::Gate* g = std::get_if<qc::Gate>(&op)) {
+      state.apply_gate(*g);
+      continue;
+    }
+    const ch::NoiseOp& noise = std::get<ch::NoiseOp>(op);
+    const auto& kraus = noise.channel.kraus();
+
+    auto apply_kraus = [&](MpsState& s, std::size_t k) {
+      if (noise.num_qubits() == 1)
+        s.apply_1q(kraus[k], noise.qubit);
+      else
+        s.apply_2q(kraus[k], noise.qubit, noise.qubit2);
+    };
+
+    const double u = unif(rng);
+    double cumulative = 0.0;
+    std::size_t chosen = kraus.size() - 1;
+    double p_chosen = 0.0;
+    for (std::size_t k = 0; k < kraus.size(); ++k) {
+      MpsState scratch = state;
+      apply_kraus(scratch, k);
+      const double pk = scratch.norm2();
+      cumulative += pk;
+      p_chosen = pk;
+      if (u < cumulative) {
+        chosen = k;
+        break;
+      }
+    }
+    apply_kraus(state, chosen);
+    if (p_chosen > 0.0) {
+      const double scale = 1.0 / std::sqrt(p_chosen);
+      state.apply_1q(la::Matrix{{scale, 0.0}, {0.0, scale}}, noise.qubit);
+    }
+  }
+  return std::norm(state.amplitude(v_bits));
+}
+
+}  // namespace
+
+sim::TrajectoryResult trajectories_mps(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                       std::uint64_t v_bits, std::size_t samples,
+                                       std::mt19937_64& rng, const MpsOptions& opts) {
+  la::detail::require(samples > 0, "trajectories_mps: need at least one sample");
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double f = sample_once(nc, psi_bits, v_bits, rng, opts);
+    sum += f;
+    sum_sq += f * f;
+  }
+  sim::TrajectoryResult out;
+  out.samples = samples;
+  out.mean = sum / static_cast<double>(samples);
+  if (samples > 1) {
+    const double var =
+        (sum_sq - sum * sum / static_cast<double>(samples)) / static_cast<double>(samples - 1);
+    out.std_error = std::sqrt(std::max(0.0, var) / static_cast<double>(samples));
+  }
+  return out;
+}
+
+}  // namespace noisim::mps

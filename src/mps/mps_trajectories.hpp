@@ -1,0 +1,22 @@
+#pragma once
+// Quantum trajectories on matrix product states: the MPS analogue of the
+// paper's trajectories baseline, usable past the state-vector memory wall
+// when bond dimensions stay moderate.
+
+#include <cstdint>
+#include <random>
+
+#include "channels/noisy_circuit.hpp"
+#include "mps/mps.hpp"
+#include "sim/trajectories.hpp"
+
+namespace noisim::mps {
+
+/// Estimate <v|E(|psi><psi|)|v> with `samples` MPS trajectories. Kraus
+/// operators are sampled with their exact Born probabilities (computed by
+/// applying each candidate to a scratch copy). 2-qubit noise is supported.
+sim::TrajectoryResult trajectories_mps(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                       std::uint64_t v_bits, std::size_t samples,
+                                       std::mt19937_64& rng, const MpsOptions& opts = {});
+
+}  // namespace noisim::mps

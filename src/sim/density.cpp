@@ -1,0 +1,171 @@
+#include "sim/density.hpp"
+
+namespace noisim::sim {
+
+namespace {
+
+// Statevector-style kernels on a raw flat buffer: apply a 2x2 / 4x4 matrix
+// at the given bit position(s) of the flat index.
+void kernel1(std::vector<cplx>& v, const la::Matrix& m, std::size_t bit) {
+  const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+  const std::size_t size = v.size();
+  for (std::size_t i = 0; i < size; ++i) {
+    if (i & bit) continue;
+    const cplx a0 = v[i], a1 = v[i | bit];
+    v[i] = m00 * a0 + m01 * a1;
+    v[i | bit] = m10 * a0 + m11 * a1;
+  }
+}
+
+void kernel2(std::vector<cplx>& v, const la::Matrix& m, std::size_t bit_hi, std::size_t bit_lo) {
+  const std::size_t size = v.size();
+  for (std::size_t i = 0; i < size; ++i) {
+    if (i & (bit_hi | bit_lo)) continue;
+    cplx old[4], neu[4];
+    for (std::size_t t = 0; t < 4; ++t)
+      old[t] = v[i | ((t & 2) ? bit_hi : 0) | ((t & 1) ? bit_lo : 0)];
+    for (std::size_t r = 0; r < 4; ++r) {
+      neu[r] = cplx{0.0, 0.0};
+      for (std::size_t c = 0; c < 4; ++c) neu[r] += m(r, c) * old[c];
+    }
+    for (std::size_t t = 0; t < 4; ++t)
+      v[i | ((t & 2) ? bit_hi : 0) | ((t & 1) ? bit_lo : 0)] = neu[t];
+  }
+}
+
+}  // namespace
+
+DensityMatrix::DensityMatrix(int n) : n_(n) {
+  la::detail::require(n > 0 && n <= 13, "DensityMatrix: qubit count out of range [1, 13]");
+  rho_.assign(std::size_t{1} << (2 * n), cplx{0.0, 0.0});
+  rho_[0] = cplx{1.0, 0.0};
+}
+
+DensityMatrix DensityMatrix::from_statevector(const Statevector& sv) {
+  DensityMatrix dm(sv.num_qubits());
+  const std::size_t d = dm.dim();
+  for (std::size_t r = 0; r < d; ++r)
+    for (std::size_t c = 0; c < d; ++c)
+      dm.rho_[r * d + c] = sv.amplitude(r) * std::conj(sv.amplitude(c));
+  return dm;
+}
+
+void DensityMatrix::apply_gate(const qc::Gate& g) {
+  const la::Matrix u = g.matrix();
+  const int two_n = 2 * n_;
+  if (g.num_qubits() == 1) {
+    const std::size_t row_bit = std::size_t{1} << (two_n - 1 - g.qubits[0]);
+    const std::size_t col_bit = std::size_t{1} << (n_ - 1 - g.qubits[0]);
+    kernel1(rho_, u, row_bit);
+    kernel1(rho_, u.conj(), col_bit);
+  } else {
+    const std::size_t row_a = std::size_t{1} << (two_n - 1 - g.qubits[0]);
+    const std::size_t row_b = std::size_t{1} << (two_n - 1 - g.qubits[1]);
+    const std::size_t col_a = std::size_t{1} << (n_ - 1 - g.qubits[0]);
+    const std::size_t col_b = std::size_t{1} << (n_ - 1 - g.qubits[1]);
+    kernel2(rho_, u, row_a, row_b);
+    kernel2(rho_, u.conj(), col_a, col_b);
+  }
+}
+
+void DensityMatrix::apply_channel(const ch::Channel& channel, int q) {
+  la::detail::require(channel.dim() == 2, "DensityMatrix::apply_channel: 1-qubit channels only");
+  la::detail::require(q >= 0 && q < n_, "DensityMatrix::apply_channel: qubit out of range");
+  const std::size_t row_bit = std::size_t{1} << (2 * n_ - 1 - q);
+  const std::size_t col_bit = std::size_t{1} << (n_ - 1 - q);
+
+  std::vector<cplx> acc(rho_.size(), cplx{0.0, 0.0});
+  std::vector<cplx> buf;
+  for (const la::Matrix& k : channel.kraus()) {
+    buf = rho_;
+    kernel1(buf, k, row_bit);
+    kernel1(buf, k.conj(), col_bit);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += buf[i];
+  }
+  rho_ = std::move(acc);
+}
+
+void DensityMatrix::apply_channel_2q(const ch::Channel& channel, int a, int b) {
+  la::detail::require(channel.dim() == 4, "DensityMatrix::apply_channel_2q: need dim 4");
+  la::detail::require(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b,
+                      "DensityMatrix::apply_channel_2q: bad qubits");
+  const std::size_t row_a = std::size_t{1} << (2 * n_ - 1 - a);
+  const std::size_t row_b = std::size_t{1} << (2 * n_ - 1 - b);
+  const std::size_t col_a = std::size_t{1} << (n_ - 1 - a);
+  const std::size_t col_b = std::size_t{1} << (n_ - 1 - b);
+
+  std::vector<cplx> acc(rho_.size(), cplx{0.0, 0.0});
+  std::vector<cplx> buf;
+  for (const la::Matrix& k : channel.kraus()) {
+    buf = rho_;
+    kernel2(buf, k, row_a, row_b);
+    kernel2(buf, k.conj(), col_a, col_b);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += buf[i];
+  }
+  rho_ = std::move(acc);
+}
+
+void DensityMatrix::evolve(const ch::NoisyCircuit& nc) {
+  la::detail::require(nc.num_qubits() == n_, "DensityMatrix::evolve: width mismatch");
+  for (const ch::Op& op : nc.ops()) {
+    if (const qc::Gate* g = std::get_if<qc::Gate>(&op)) {
+      apply_gate(*g);
+      continue;
+    }
+    const ch::NoiseOp& noise = std::get<ch::NoiseOp>(op);
+    if (noise.num_qubits() == 1)
+      apply_channel(noise.channel, noise.qubit);
+    else
+      apply_channel_2q(noise.channel, noise.qubit, noise.qubit2);
+  }
+}
+
+cplx DensityMatrix::element(std::uint64_t row, std::uint64_t col) const {
+  return rho_[row * dim() + col];
+}
+
+double DensityMatrix::trace() const {
+  const std::size_t d = dim();
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < d; ++i) s += rho_[i * d + i];
+  return s.real();
+}
+
+double DensityMatrix::fidelity_basis(std::uint64_t v_bits) const {
+  return rho_[v_bits * dim() + v_bits].real();
+}
+
+double DensityMatrix::fidelity(const la::Vector& v) const {
+  const std::size_t d = dim();
+  la::detail::require(v.size() == d, "DensityMatrix::fidelity: size mismatch");
+  cplx s{0.0, 0.0};
+  for (std::size_t r = 0; r < d; ++r) {
+    cplx w{0.0, 0.0};
+    const cplx* row = rho_.data() + r * d;
+    for (std::size_t c = 0; c < d; ++c) w += row[c] * v[c];
+    s += std::conj(v[r]) * w;
+  }
+  return s.real();
+}
+
+la::Matrix DensityMatrix::to_matrix() const {
+  const std::size_t d = dim();
+  la::Matrix m(d, d);
+  for (std::size_t r = 0; r < d; ++r)
+    for (std::size_t c = 0; c < d; ++c) m(r, c) = rho_[r * d + c];
+  return m;
+}
+
+double exact_fidelity_mm(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                         std::uint64_t v_bits) {
+  DensityMatrix dm(nc.num_qubits());
+  if (psi_bits != 0) {
+    DensityMatrix from = DensityMatrix::from_statevector(
+        Statevector::basis(nc.num_qubits(), psi_bits));
+    dm = std::move(from);
+  }
+  dm.evolve(nc);
+  return dm.fidelity_basis(v_bits);
+}
+
+}  // namespace noisim::sim

@@ -1,0 +1,122 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+
+namespace noisim::sim {
+
+Statevector::Statevector(int n) : n_(n) {
+  la::detail::require(n > 0 && n <= 26, "Statevector: qubit count out of range [1, 26]");
+  amps_.assign(std::size_t{1} << n, cplx{0.0, 0.0});
+  amps_[0] = cplx{1.0, 0.0};
+}
+
+Statevector Statevector::basis(int n, std::uint64_t bits) {
+  Statevector sv(n);
+  la::detail::require(bits < sv.amps_.size(), "Statevector::basis: bits out of range");
+  sv.amps_[0] = cplx{0.0, 0.0};
+  sv.amps_[bits] = cplx{1.0, 0.0};
+  return sv;
+}
+
+Statevector Statevector::from_vector(int n, const la::Vector& v) {
+  Statevector sv(n);
+  la::detail::require(v.size() == sv.amps_.size(), "Statevector::from_vector: size mismatch");
+  for (std::size_t i = 0; i < v.size(); ++i) sv.amps_[i] = v[i];
+  return sv;
+}
+
+void Statevector::apply_matrix1(const la::Matrix& m, int q) {
+  la::detail::require(m.rows() == 2 && m.cols() == 2, "apply_matrix1: need 2x2");
+  la::detail::require(q >= 0 && q < n_, "apply_matrix1: qubit out of range");
+  const std::size_t bit = std::size_t{1} << (n_ - 1 - q);
+  const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+  const std::size_t size = amps_.size();
+  for (std::size_t i = 0; i < size; ++i) {
+    if (i & bit) continue;
+    const cplx a0 = amps_[i];
+    const cplx a1 = amps_[i | bit];
+    amps_[i] = m00 * a0 + m01 * a1;
+    amps_[i | bit] = m10 * a0 + m11 * a1;
+  }
+}
+
+void Statevector::apply_matrix2(const la::Matrix& m, int a, int b) {
+  la::detail::require(m.rows() == 4 && m.cols() == 4, "apply_matrix2: need 4x4");
+  la::detail::require(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b,
+                      "apply_matrix2: qubits out of range");
+  const std::size_t bit_a = std::size_t{1} << (n_ - 1 - a);
+  const std::size_t bit_b = std::size_t{1} << (n_ - 1 - b);
+  const std::size_t size = amps_.size();
+  for (std::size_t i = 0; i < size; ++i) {
+    if (i & (bit_a | bit_b)) continue;
+    cplx old[4], neu[4];
+    for (std::size_t t = 0; t < 4; ++t)
+      old[t] = amps_[i | ((t & 2) ? bit_a : 0) | ((t & 1) ? bit_b : 0)];
+    for (std::size_t r = 0; r < 4; ++r) {
+      neu[r] = cplx{0.0, 0.0};
+      for (std::size_t c = 0; c < 4; ++c) neu[r] += m(r, c) * old[c];
+    }
+    for (std::size_t t = 0; t < 4; ++t)
+      amps_[i | ((t & 2) ? bit_a : 0) | ((t & 1) ? bit_b : 0)] = neu[t];
+  }
+}
+
+void Statevector::apply_gate(const qc::Gate& g) {
+  if (g.num_qubits() == 1)
+    apply_matrix1(g.matrix(), g.qubits[0]);
+  else
+    apply_matrix2(g.matrix(), g.qubits[0], g.qubits[1]);
+}
+
+void Statevector::apply_circuit(const qc::Circuit& c) {
+  la::detail::require(c.num_qubits() == n_, "apply_circuit: width mismatch");
+  for (const qc::Gate& g : c.gates()) apply_gate(g);
+}
+
+cplx Statevector::inner(const Statevector& other) const {
+  la::detail::require(n_ == other.n_, "Statevector::inner: width mismatch");
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < amps_.size(); ++i) s += std::conj(amps_[i]) * other.amps_[i];
+  return s;
+}
+
+cplx Statevector::expectation1(const la::Matrix& m, int q) const {
+  la::detail::require(m.rows() == 2 && m.cols() == 2, "expectation1: need 2x2");
+  const std::size_t bit = std::size_t{1} << (n_ - 1 - q);
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (i & bit) continue;
+    const cplx a0 = amps_[i], a1 = amps_[i | bit];
+    s += std::conj(a0) * (m(0, 0) * a0 + m(0, 1) * a1);
+    s += std::conj(a1) * (m(1, 0) * a0 + m(1, 1) * a1);
+  }
+  return s;
+}
+
+double Statevector::norm2() const {
+  double s = 0.0;
+  for (const cplx& a : amps_) s += std::norm(a);
+  return s;
+}
+
+double Statevector::norm() const { return std::sqrt(norm2()); }
+
+void Statevector::normalize() {
+  const double n = norm();
+  la::detail::require(n > 0.0, "Statevector::normalize: zero state");
+  for (cplx& a : amps_) a /= n;
+}
+
+la::Vector Statevector::to_vector() const {
+  la::Vector v(amps_.size());
+  for (std::size_t i = 0; i < amps_.size(); ++i) v[i] = amps_[i];
+  return v;
+}
+
+cplx basis_amplitude(const qc::Circuit& c, std::uint64_t psi_bits, std::uint64_t v_bits) {
+  Statevector sv = Statevector::basis(c.num_qubits(), psi_bits);
+  sv.apply_circuit(c);
+  return sv.amplitude(v_bits);
+}
+
+}  // namespace noisim::sim

@@ -1,0 +1,85 @@
+#include "sim/trajectories.hpp"
+
+#include <cmath>
+
+namespace noisim::sim {
+
+double sample_trajectory_sv(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                            std::uint64_t v_bits, std::mt19937_64& rng) {
+  Statevector sv = Statevector::basis(nc.num_qubits(), psi_bits);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+
+  for (const ch::Op& op : nc.ops()) {
+    if (const qc::Gate* g = std::get_if<qc::Gate>(&op)) {
+      sv.apply_gate(*g);
+      continue;
+    }
+    const ch::NoiseOp& noise = std::get<ch::NoiseOp>(op);
+    const auto& kraus = noise.channel.kraus();
+    const bool two_qubit = noise.num_qubits() == 2;
+
+    // Born probabilities p_k = <psi| E_k^dag E_k |psi>. The 1-qubit case
+    // uses a local 2x2 expectation (no copies); the 2-qubit case applies
+    // each candidate to a scratch copy and reads the norm.
+    auto born = [&](std::size_t k) {
+      if (!two_qubit) return sv.expectation1(kraus[k].adjoint() * kraus[k], noise.qubit).real();
+      Statevector scratch = sv;
+      scratch.apply_matrix2(kraus[k], noise.qubit, noise.qubit2);
+      return scratch.norm2();
+    };
+
+    double cumulative = 0.0;
+    const double u = unif(rng);
+    std::size_t chosen = kraus.size() - 1;
+    double p_chosen = 0.0;
+    for (std::size_t k = 0; k < kraus.size(); ++k) {
+      const double pk = born(k);
+      cumulative += pk;
+      if (u < cumulative) {
+        chosen = k;
+        p_chosen = pk;
+        break;
+      }
+      p_chosen = pk;  // fall through to the last operator on rounding
+    }
+    if (two_qubit)
+      sv.apply_matrix2(kraus[chosen], noise.qubit, noise.qubit2);
+    else
+      sv.apply_matrix1(kraus[chosen], noise.qubit);
+    if (p_chosen > 0.0) {
+      const double scale = 1.0 / std::sqrt(p_chosen);
+      sv.apply_matrix1(la::Matrix{{scale, 0}, {0, scale}}, noise.qubit);
+    }
+  }
+  return std::norm(sv.amplitude(v_bits));
+}
+
+TrajectoryResult trajectories_sv(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                 std::uint64_t v_bits, std::size_t samples,
+                                 std::mt19937_64& rng) {
+  la::detail::require(samples > 0, "trajectories_sv: need at least one sample");
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double f = sample_trajectory_sv(nc, psi_bits, v_bits, rng);
+    sum += f;
+    sum_sq += f * f;
+  }
+  TrajectoryResult out;
+  out.samples = samples;
+  out.mean = sum / static_cast<double>(samples);
+  if (samples > 1) {
+    const double var =
+        (sum_sq - sum * sum / static_cast<double>(samples)) / static_cast<double>(samples - 1);
+    out.std_error = std::sqrt(std::max(0.0, var) / static_cast<double>(samples));
+  }
+  return out;
+}
+
+std::size_t hoeffding_samples(double accuracy, double failure_prob) {
+  la::detail::require(accuracy > 0.0 && failure_prob > 0.0 && failure_prob < 1.0,
+                      "hoeffding_samples: bad arguments");
+  const double r = std::log(2.0 / failure_prob) / (2.0 * accuracy * accuracy);
+  return static_cast<std::size_t>(std::ceil(r));
+}
+
+}  // namespace noisim::sim

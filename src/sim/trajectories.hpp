@@ -1,0 +1,44 @@
+#pragma once
+// Quantum trajectories (Monte-Carlo wave function) method [Isakov et al.],
+// the paper's approximate baseline.
+//
+// Each trajectory runs the circuit on a state vector; at every noise site a
+// Kraus operator E_k is sampled with its exact Born probability
+// p_k = ||E_k |psi>||^2 and the state is renormalized. The estimator
+// mean(|<v|psi_traj>|^2) is unbiased for <v| E(|psi><psi|) |v>, with
+// standard error O(1/sqrt(samples)) -- the scaling the paper compares
+// against in Fig. 5 and Tables III.
+//
+// This is the "MM-based" trajectories variant (statevector); the TN-based
+// variant lives in core/trajectories_tn.hpp because it reuses the tensor
+// network amplitude machinery.
+
+#include <cstdint>
+#include <random>
+
+#include "sim/statevector.hpp"
+
+namespace noisim::sim {
+
+struct TrajectoryResult {
+  double mean = 0.0;       // estimate of <v|E(rho)|v>
+  double std_error = 0.0;  // sample standard error of the mean
+  std::size_t samples = 0;
+};
+
+/// Run `samples` trajectories of the noisy circuit starting from |psi_bits>
+/// and estimate <v_bits| E(|psi><psi|) |v_bits>.
+TrajectoryResult trajectories_sv(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                 std::uint64_t v_bits, std::size_t samples,
+                                 std::mt19937_64& rng);
+
+/// Single-trajectory sample (exposed for tests of the sampling step).
+double sample_trajectory_sv(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                            std::uint64_t v_bits, std::mt19937_64& rng);
+
+/// Number of samples needed so that a (1 - failure_prob) confidence interval
+/// of half-width `accuracy` covers the estimate, by Hoeffding's inequality
+/// on outcomes bounded in [0, 1]: r = ln(2/failure) / (2 accuracy^2).
+std::size_t hoeffding_samples(double accuracy, double failure_prob);
+
+}  // namespace noisim::sim

@@ -1,0 +1,245 @@
+#include "tdd/tdd.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+namespace noisim::tdd {
+
+namespace {
+
+constexpr Var kTerminalVar = std::numeric_limits<Var>::max();
+
+Var top_var(const Node* n) { return n == nullptr ? kTerminalVar : n->var; }
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+std::size_t hash_mix(std::size_t h, std::uint64_t v) {
+  // splitmix-style combiner.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+bool Edge::operator==(const Edge& o) const { return node == o.node && weight == o.weight; }
+
+bool Manager::NodeKey::operator==(const NodeKey& o) const {
+  return var == o.var && low_node == o.low_node && high_node == o.high_node &&
+         low_w[0] == o.low_w[0] && low_w[1] == o.low_w[1] && high_w[0] == o.high_w[0] &&
+         high_w[1] == o.high_w[1];
+}
+
+std::size_t Manager::NodeKeyHash::operator()(const NodeKey& k) const {
+  std::size_t h = std::hash<Var>{}(k.var);
+  h = hash_mix(h, reinterpret_cast<std::uintptr_t>(k.low_node));
+  h = hash_mix(h, reinterpret_cast<std::uintptr_t>(k.high_node));
+  h = hash_mix(h, k.low_w[0]);
+  h = hash_mix(h, k.low_w[1]);
+  h = hash_mix(h, k.high_w[0]);
+  h = hash_mix(h, k.high_w[1]);
+  return h;
+}
+
+bool Manager::AddKey::operator==(const AddKey& o) const {
+  return a == o.a && b == o.b && ratio[0] == o.ratio[0] && ratio[1] == o.ratio[1];
+}
+
+std::size_t Manager::AddKeyHash::operator()(const AddKey& k) const {
+  std::size_t h = hash_mix(0, reinterpret_cast<std::uintptr_t>(k.a));
+  h = hash_mix(h, reinterpret_cast<std::uintptr_t>(k.b));
+  h = hash_mix(h, k.ratio[0]);
+  h = hash_mix(h, k.ratio[1]);
+  return h;
+}
+
+std::size_t Manager::ContKeyHash::operator()(const ContKey& k) const {
+  std::size_t h = hash_mix(0, reinterpret_cast<std::uintptr_t>(k.a));
+  h = hash_mix(h, reinterpret_cast<std::uintptr_t>(k.b));
+  h = hash_mix(h, k.sum_index);
+  return h;
+}
+
+Manager::Manager(std::size_t max_nodes) : max_nodes_(max_nodes) {}
+
+Edge Manager::normalize(Var var, Edge low, Edge high) {
+  // Canonical zero edges.
+  if (low.weight == cplx{0.0, 0.0}) low = Edge{};
+  if (high.weight == cplx{0.0, 0.0}) high = Edge{};
+
+  // Redundant-node rule: the tensor does not depend on `var`.
+  if (low == high) return low;
+
+  // Weight normalization: divide by the larger-magnitude weight (tie: low).
+  const double al = std::abs(low.weight), ah = std::abs(high.weight);
+  const cplx d = (al >= ah && al > 0.0) ? low.weight : high.weight;
+  low.weight /= d;
+  high.weight /= d;
+
+  NodeKey key{var,
+              low.node,
+              high.node,
+              {bits(low.weight.real()), bits(low.weight.imag())},
+              {bits(high.weight.real()), bits(high.weight.imag())}};
+  const auto it = unique_.find(key);
+  const Node* node;
+  if (it != unique_.end()) {
+    node = it->second;
+  } else {
+    if (arena_.size() >= max_nodes_)
+      throw MemoryOutError("TDD node budget exceeded (" + std::to_string(max_nodes_) + " nodes)");
+    arena_.push_back(Node{var, low, high});
+    node = &arena_.back();
+    unique_.emplace(key, node);
+  }
+  return Edge{d, node};
+}
+
+Edge Manager::make_node(Var var, const Edge& low, const Edge& high) {
+  la::detail::require(top_var(low.node) > var && top_var(high.node) > var,
+                      "TDD make_node: children must have larger variables");
+  return normalize(var, low, high);
+}
+
+Edge Manager::add(const Edge& a, const Edge& b) {
+  if (a.weight == cplx{0.0, 0.0}) return b;
+  if (b.weight == cplx{0.0, 0.0}) return a;
+  if (a.node == b.node) {
+    const cplx w = a.weight + b.weight;
+    if (w == cplx{0.0, 0.0}) return Edge{};
+    return Edge{w, a.node};
+  }
+
+  const cplx ratio = b.weight / a.weight;
+  AddKey key{a.node, b.node, {bits(ratio.real()), bits(ratio.imag())}};
+  if (const auto it = add_cache_.find(key); it != add_cache_.end())
+    return Edge{it->second.weight * a.weight, it->second.node};
+
+  const Var x = std::min(top_var(a.node), top_var(b.node));
+  auto cofactor = [](const Edge& e, Var v, bool hi) {
+    if (e.node != nullptr && e.node->var == v) {
+      const Edge& child = hi ? e.node->high : e.node->low;
+      return Edge{e.weight * child.weight, child.node};
+    }
+    return e;
+  };
+  const Edge r = make_node(x, add(cofactor(a, x, false), cofactor(b, x, false)),
+                           add(cofactor(a, x, true), cofactor(b, x, true)));
+  add_cache_.emplace(key, Edge{r.weight / a.weight, r.node});
+  return r;
+}
+
+Edge Manager::contract_rec(const Node* a, const Node* b, const std::vector<Var>& sum_vars,
+                           std::size_t si) {
+  // Summed variables smaller than both tops appear in neither operand:
+  // each contributes a factor of 2.
+  cplx mult{1.0, 0.0};
+  while (si < sum_vars.size() && sum_vars[si] < std::min(top_var(a), top_var(b))) {
+    mult *= 2.0;
+    ++si;
+  }
+  if (a == nullptr && b == nullptr) return Edge{mult, nullptr};
+
+  ContKey key{a, b, si};
+  if (const auto it = cont_cache_.find(key); it != cont_cache_.end())
+    return Edge{it->second.weight * mult, it->second.node};
+
+  const Var x = std::min(top_var(a), top_var(b));
+  auto cofactor = [](const Node* n, Var v, bool hi) {
+    if (n != nullptr && n->var == v) return hi ? n->high : n->low;
+    return Edge{cplx{1.0, 0.0}, n};
+  };
+  auto descend = [&](const Edge& fa, const Edge& fb, std::size_t s) {
+    if (fa.weight == cplx{0.0, 0.0} || fb.weight == cplx{0.0, 0.0}) return Edge{};
+    const Edge r = contract_rec(fa.node, fb.node, sum_vars, s);
+    return Edge{r.weight * fa.weight * fb.weight, r.node};
+  };
+
+  Edge result;
+  if (si < sum_vars.size() && sum_vars[si] == x) {
+    result = add(descend(cofactor(a, x, false), cofactor(b, x, false), si + 1),
+                 descend(cofactor(a, x, true), cofactor(b, x, true), si + 1));
+  } else {
+    result = make_node(x, descend(cofactor(a, x, false), cofactor(b, x, false), si),
+                       descend(cofactor(a, x, true), cofactor(b, x, true), si));
+  }
+  cont_cache_.emplace(key, result);
+  return Edge{result.weight * mult, result.node};
+}
+
+Edge Manager::contract(const Edge& a, const Edge& b, const std::vector<Var>& sum_vars) {
+  la::detail::require(std::is_sorted(sum_vars.begin(), sum_vars.end()),
+                      "TDD contract: sum_vars must be ascending");
+  if (a.weight == cplx{0.0, 0.0} || b.weight == cplx{0.0, 0.0}) return Edge{};
+  // The cache is only valid for one sum set.
+  cont_cache_.clear();
+  const Edge r = contract_rec(a.node, b.node, sum_vars, 0);
+  return Edge{r.weight * a.weight * b.weight, r.node};
+}
+
+Edge Manager::from_tensor(const tsr::Tensor& t, std::vector<Var> vars) {
+  la::detail::require(vars.size() == t.rank(), "TDD from_tensor: var/axis count mismatch");
+  for (std::size_t ax = 0; ax < t.rank(); ++ax)
+    la::detail::require(t.dim(ax) == 2, "TDD from_tensor: all dimensions must be 2");
+
+  // Permute axes into ascending variable order.
+  std::vector<std::size_t> perm(vars.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::sort(perm.begin(), perm.end(), [&](std::size_t x, std::size_t y) { return vars[x] < vars[y]; });
+  for (std::size_t i = 0; i + 1 < perm.size(); ++i)
+    la::detail::require(vars[perm[i]] != vars[perm[i + 1]], "TDD from_tensor: duplicate variable");
+  const tsr::Tensor sorted_tensor = t.permute(perm);
+  std::vector<Var> sorted_vars(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) sorted_vars[i] = vars[perm[i]];
+
+  // Recursive top-down build.
+  auto build = [&](auto&& self, std::size_t offset, std::size_t depth) -> Edge {
+    if (depth == sorted_vars.size()) return terminal(sorted_tensor[offset]);
+    const std::size_t half = std::size_t{1} << (sorted_vars.size() - depth - 1);
+    return make_node(sorted_vars[depth], self(self, offset, depth + 1),
+                     self(self, offset + half, depth + 1));
+  };
+  return build(build, 0, 0);
+}
+
+tsr::Tensor Manager::to_tensor(const Edge& e, const std::vector<Var>& vars) const {
+  la::detail::require(std::is_sorted(vars.begin(), vars.end()), "TDD to_tensor: vars ascending");
+  tsr::Tensor out(std::vector<std::size_t>(vars.size(), 2));
+
+  auto fill = [&](auto&& self, const Node* node, cplx w, std::size_t depth,
+                  std::size_t offset) -> void {
+    if (depth == vars.size()) {
+      la::detail::require(node == nullptr, "TDD to_tensor: vars do not cover the diagram");
+      out[offset] = w;
+      return;
+    }
+    const std::size_t half = std::size_t{1} << (vars.size() - depth - 1);
+    if (node == nullptr || node->var > vars[depth]) {
+      self(self, node, w, depth + 1, offset);
+      self(self, node, w, depth + 1, offset + half);
+      return;
+    }
+    la::detail::require(node->var == vars[depth], "TDD to_tensor: variable missing from vars");
+    self(self, node->low.node, w * node->low.weight, depth + 1, offset);
+    self(self, node->high.node, w * node->high.weight, depth + 1, offset + half);
+  };
+  fill(fill, e.node, e.weight, 0, 0);
+  return out;
+}
+
+std::size_t Manager::reachable_nodes(const Edge& e) const {
+  std::unordered_set<const Node*> seen;
+  auto walk = [&](auto&& self, const Node* n) -> void {
+    if (n == nullptr || seen.count(n)) return;
+    seen.insert(n);
+    self(self, n->low.node);
+    self(self, n->high.node);
+  };
+  walk(walk, e.node);
+  return seen.size();
+}
+
+}  // namespace noisim::tdd

@@ -1,0 +1,130 @@
+#pragma once
+// Tensor Decision Diagrams (TDDs) -- the paper's "TDD-based" accurate
+// baseline, after Hong et al., "A Tensor Network Based Decision Diagram for
+// Representation of Quantum Circuits" (ACM TODAES 2022).
+//
+// A TDD represents a tensor with boolean (dimension-2) indices as a directed
+// acyclic graph: each node splits on one index variable (indices are totally
+// ordered by integer id), edges carry complex weights, and isomorphic
+// subgraphs are shared through a unique table. Canonicity:
+//  * a node whose two outgoing edges are identical is skipped entirely
+//    (the tensor does not depend on that variable);
+//  * outgoing weights are normalized by the larger-magnitude weight (ties
+//    prefer the low edge), which is pulled onto the incoming edge;
+//  * the all-zero tensor is the terminal with weight 0.
+//
+// The two algebraic operations are addition and contraction (sum over a set
+// of shared variables), each memoized. Contraction accounts for summed
+// variables absent from both operands with a factor of 2 per variable.
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace noisim::tdd {
+
+/// Index variables are non-negative integers; the diagram order is the
+/// natural integer order.
+using Var = std::int64_t;
+
+struct Node;
+
+/// A weighted edge into a sub-diagram; node == nullptr is the terminal.
+struct Edge {
+  cplx weight{0.0, 0.0};
+  const Node* node = nullptr;
+
+  bool is_terminal() const { return node == nullptr; }
+  bool operator==(const Edge& o) const;
+};
+
+struct Node {
+  Var var;
+  Edge low;
+  Edge high;
+};
+
+/// Owner of all nodes plus the unique table and operation caches. All edges
+/// returned by a manager remain valid for the manager's lifetime.
+class Manager {
+ public:
+  /// `max_nodes` bounds memory; exceeding it throws MemoryOutError (the
+  /// benchmark harness reports it as "MO").
+  explicit Manager(std::size_t max_nodes = 1u << 22);
+
+  /// Terminal edge with the given weight (the scalar w).
+  Edge terminal(cplx w) const { return Edge{w, nullptr}; }
+
+  /// Canonical node construction (applies both reduction rules).
+  Edge make_node(Var var, const Edge& low, const Edge& high);
+
+  /// Pointwise sum of two diagrams over the same variable set.
+  Edge add(const Edge& a, const Edge& b);
+
+  /// Contraction: multiply a and b and sum over `sum_vars` (ascending).
+  /// Variables in sum_vars missing from both operands contribute factor 2.
+  Edge contract(const Edge& a, const Edge& b, const std::vector<Var>& sum_vars);
+
+  /// Build a TDD from a dense tensor whose axes carry the given variables
+  /// (all dimensions must be 2). Axes may be listed in any order.
+  Edge from_tensor(const tsr::Tensor& t, std::vector<Var> vars);
+
+  /// Expand a TDD back to a dense tensor over `vars` (ascending axis order
+  /// = ascending variable order); vars must cover the diagram's support.
+  tsr::Tensor to_tensor(const Edge& e, const std::vector<Var>& vars) const;
+
+  /// Number of live unique nodes (diagnostic / size assertions).
+  std::size_t node_count() const { return arena_.size(); }
+
+  /// Nodes reachable from an edge, including shared ones once.
+  std::size_t reachable_nodes(const Edge& e) const;
+
+ private:
+  Edge normalize(Var var, Edge low, Edge high);
+
+  struct NodeKey {
+    Var var;
+    const Node* low_node;
+    const Node* high_node;
+    std::uint64_t low_w[2];
+    std::uint64_t high_w[2];
+    bool operator==(const NodeKey& o) const;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const;
+  };
+
+  struct AddKey {
+    const Node* a;
+    const Node* b;
+    std::uint64_t ratio[2];
+    bool operator==(const AddKey& o) const;
+  };
+  struct AddKeyHash {
+    std::size_t operator()(const AddKey& k) const;
+  };
+
+  struct ContKey {
+    const Node* a;
+    const Node* b;
+    std::size_t sum_index;
+    bool operator==(const ContKey& o) const = default;
+  };
+  struct ContKeyHash {
+    std::size_t operator()(const ContKey& k) const;
+  };
+
+  Edge contract_rec(const Node* a, const Node* b, const std::vector<Var>& sum_vars,
+                    std::size_t si);
+
+  std::size_t max_nodes_;
+  std::deque<Node> arena_;
+  std::unordered_map<NodeKey, const Node*, NodeKeyHash> unique_;
+  std::unordered_map<AddKey, Edge, AddKeyHash> add_cache_;
+  std::unordered_map<ContKey, Edge, ContKeyHash> cont_cache_;
+};
+
+}  // namespace noisim::tdd

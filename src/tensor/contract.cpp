@@ -1,0 +1,89 @@
+#include "tensor/contract.hpp"
+
+#include <algorithm>
+
+namespace noisim::tsr {
+
+namespace {
+
+struct Plan {
+  std::vector<std::size_t> free_a;   // axes of A kept
+  std::vector<std::size_t> free_b;   // axes of B kept
+  std::size_t m = 1;                 // product of A free dims
+  std::size_t k = 1;                 // product of contracted dims
+  std::size_t n = 1;                 // product of B free dims
+  std::vector<std::size_t> out_shape;
+};
+
+Plan make_plan(const Tensor& a, std::span<const std::size_t> axes_a, const Tensor& b,
+               std::span<const std::size_t> axes_b) {
+  la::detail::require(axes_a.size() == axes_b.size(), "contract: axis count mismatch");
+  std::vector<bool> used_a(a.rank(), false), used_b(b.rank(), false);
+  for (std::size_t i = 0; i < axes_a.size(); ++i) {
+    const std::size_t ax = axes_a[i], bx = axes_b[i];
+    la::detail::require(ax < a.rank() && bx < b.rank(), "contract: axis out of range");
+    la::detail::require(!used_a[ax] && !used_b[bx], "contract: repeated axis");
+    la::detail::require(a.dim(ax) == b.dim(bx), "contract: contracted dims differ");
+    used_a[ax] = used_b[bx] = true;
+  }
+
+  Plan p;
+  for (std::size_t i = 0; i < a.rank(); ++i)
+    if (!used_a[i]) {
+      p.free_a.push_back(i);
+      p.m *= a.dim(i);
+      p.out_shape.push_back(a.dim(i));
+    }
+  for (std::size_t i = 0; i < b.rank(); ++i)
+    if (!used_b[i]) {
+      p.free_b.push_back(i);
+      p.n *= b.dim(i);
+      p.out_shape.push_back(b.dim(i));
+    }
+  for (std::size_t ax : axes_a) p.k *= a.dim(ax);
+  return p;
+}
+
+}  // namespace
+
+std::size_t contract_result_size(const Tensor& a, std::span<const std::size_t> axes_a,
+                                 const Tensor& b, std::span<const std::size_t> axes_b) {
+  const Plan p = make_plan(a, axes_a, b, axes_b);
+  return p.m * p.n;
+}
+
+Tensor contract(const Tensor& a, std::span<const std::size_t> axes_a, const Tensor& b,
+                std::span<const std::size_t> axes_b) {
+  const Plan p = make_plan(a, axes_a, b, axes_b);
+
+  // Bring A to [free..., contracted...] and B to [contracted..., free...],
+  // then the contraction is a (m x k) * (k x n) matrix product.
+  std::vector<std::size_t> perm_a = p.free_a;
+  perm_a.insert(perm_a.end(), axes_a.begin(), axes_a.end());
+  std::vector<std::size_t> perm_b(axes_b.begin(), axes_b.end());
+  perm_b.insert(perm_b.end(), p.free_b.begin(), p.free_b.end());
+
+  const Tensor at = a.permute(perm_a);
+  const Tensor bt = b.permute(perm_b);
+
+  Tensor out(p.out_shape.empty() ? std::vector<std::size_t>{} : p.out_shape);
+  if (p.out_shape.empty()) out = Tensor::scalar(cplx{0.0, 0.0});
+
+  // ikj loop: the inner loop streams contiguously over bt's row j-range.
+  const cplx* pa = at.data();
+  const cplx* pb = bt.data();
+  cplx* po = out.data();
+  for (std::size_t i = 0; i < p.m; ++i) {
+    cplx* orow = po + i * p.n;
+    const cplx* arow = pa + i * p.k;
+    for (std::size_t kk = 0; kk < p.k; ++kk) {
+      const cplx aik = arow[kk];
+      if (aik == cplx{0.0, 0.0}) continue;
+      const cplx* brow = pb + kk * p.n;
+      for (std::size_t j = 0; j < p.n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace noisim::tsr

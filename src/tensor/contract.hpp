@@ -1,0 +1,29 @@
+#pragma once
+// Pairwise tensor contraction (einsum over explicit axis pairs).
+//
+// contract(A, {a1, a2}, B, {b1, b2}) sums over A-axis a1 with B-axis b1 and
+// A-axis a2 with B-axis b2 simultaneously; the result carries A's free axes
+// (in order) followed by B's free axes. This is the single primitive the
+// tensor-network contractor is built on.
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace noisim::tsr {
+
+/// Number of elements the contraction result will hold; callers use this to
+/// enforce memory budgets *before* allocating.
+std::size_t contract_result_size(const Tensor& a, std::span<const std::size_t> axes_a,
+                                 const Tensor& b, std::span<const std::size_t> axes_b);
+
+Tensor contract(const Tensor& a, std::span<const std::size_t> axes_a, const Tensor& b,
+                std::span<const std::size_t> axes_b);
+
+inline Tensor contract(const Tensor& a, std::initializer_list<std::size_t> axes_a,
+                       const Tensor& b, std::initializer_list<std::size_t> axes_b) {
+  return contract(a, std::span<const std::size_t>(axes_a.begin(), axes_a.size()), b,
+                  std::span<const std::size_t>(axes_b.begin(), axes_b.size()));
+}
+
+}  // namespace noisim::tsr

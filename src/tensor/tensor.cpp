@@ -1,0 +1,211 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace noisim::tsr {
+
+namespace {
+
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) {
+    la::detail::require(d > 0, "Tensor: zero-dimension axis");
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<std::size_t> row_major_strides(const std::vector<std::size_t>& shape) {
+  std::vector<std::size_t> st(shape.size());
+  std::size_t acc = 1;
+  for (std::size_t i = shape.size(); i-- > 0;) {
+    st[i] = acc;
+    acc *= shape[i];
+  }
+  return st;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
+  data_.assign(shape_size(shape_), cplx{0.0, 0.0});
+}
+
+Tensor Tensor::scalar(cplx value) {
+  Tensor t{std::vector<std::size_t>{}};
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor Tensor::from_matrix(const Matrix& m) {
+  Tensor t{{m.rows(), m.cols()}};
+  std::copy(m.data(), m.data() + m.rows() * m.cols(), t.data_.begin());
+  return t;
+}
+
+Tensor Tensor::from_vector(const Vector& v) {
+  Tensor t{{v.size()}};
+  std::copy(v.data(), v.data() + v.size(), t.data_.begin());
+  return t;
+}
+
+Tensor Tensor::identity(std::size_t dim) {
+  Tensor t{{dim, dim}};
+  for (std::size_t i = 0; i < dim; ++i) t.data_[i * dim + i] = cplx{1.0, 0.0};
+  return t;
+}
+
+std::size_t Tensor::flat_index(std::span<const std::size_t> idx) const {
+  la::detail::require(idx.size() == shape_.size(), "Tensor::at: rank mismatch");
+  std::size_t flat = 0;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    la::detail::require(idx[i] < shape_[i], "Tensor::at: index out of range");
+    flat = flat * shape_[i] + idx[i];
+  }
+  return flat;
+}
+
+Tensor Tensor::permute(std::span<const std::size_t> perm) const {
+  la::detail::require(perm.size() == rank(), "Tensor::permute: rank mismatch");
+  std::vector<bool> seen(rank(), false);
+  for (std::size_t p : perm) {
+    la::detail::require(p < rank() && !seen[p], "Tensor::permute: invalid permutation");
+    seen[p] = true;
+  }
+
+  std::vector<std::size_t> new_shape(rank());
+  for (std::size_t i = 0; i < rank(); ++i) new_shape[i] = shape_[perm[i]];
+  Tensor out(new_shape);
+  if (rank() == 0) {
+    out.data_[0] = data_[0];
+    return out;
+  }
+
+  const std::vector<std::size_t> old_strides = row_major_strides(shape_);
+  // Stride of output axis i in the *source* flat layout.
+  std::vector<std::size_t> src_stride(rank());
+  for (std::size_t i = 0; i < rank(); ++i) src_stride[i] = old_strides[perm[i]];
+
+  // Odometer walk over the output in row-major order.
+  std::vector<std::size_t> idx(rank(), 0);
+  std::size_t src = 0;
+  const std::size_t total = out.size();
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    out.data_[flat] = data_[src];
+    for (std::size_t ax = rank(); ax-- > 0;) {
+      if (++idx[ax] < new_shape[ax]) {
+        src += src_stride[ax];
+        break;
+      }
+      src -= src_stride[ax] * (new_shape[ax] - 1);
+      idx[ax] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::reshape(std::vector<std::size_t> new_shape) const {
+  la::detail::require(shape_size(new_shape) == size(), "Tensor::reshape: size mismatch");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+Tensor Tensor::conj() const {
+  Tensor out = *this;
+  for (cplx& x : out.data_) x = std::conj(x);
+  return out;
+}
+
+Tensor& Tensor::operator*=(cplx s) {
+  for (cplx& x : data_) x *= s;
+  return *this;
+}
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  la::detail::require(shape_ == o.shape_, "Tensor::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix Tensor::to_matrix() const {
+  la::detail::require(rank() == 2, "Tensor::to_matrix: rank != 2");
+  Matrix m(shape_[0], shape_[1]);
+  std::copy(data_.begin(), data_.end(), m.data());
+  return m;
+}
+
+Vector Tensor::to_vector() const {
+  la::detail::require(rank() == 1, "Tensor::to_vector: rank != 1");
+  Vector v(shape_[0]);
+  std::copy(data_.begin(), data_.end(), v.data());
+  return v;
+}
+
+cplx Tensor::to_scalar() const {
+  la::detail::require(rank() == 0, "Tensor::to_scalar: rank != 0");
+  return data_[0];
+}
+
+double Tensor::frobenius_norm() const {
+  double s = 0.0;
+  for (const cplx& x : data_) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+double Tensor::max_abs() const {
+  double m = 0.0;
+  for (const cplx& x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+bool Tensor::approx_equal(const Tensor& o, double tol) const {
+  if (shape_ != o.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (!noisim::approx_equal(data_[i], o.data_[i], tol)) return false;
+  return true;
+}
+
+Tensor trace_axes(const Tensor& t, std::size_t a, std::size_t b) {
+  la::detail::require(a != b && a < t.rank() && b < t.rank(), "trace_axes: bad axes");
+  la::detail::require(t.dim(a) == t.dim(b), "trace_axes: dimension mismatch");
+  if (a > b) std::swap(a, b);
+
+  // Move axes a, b to the back, then sum the diagonal of the trailing pair.
+  std::vector<std::size_t> perm;
+  perm.reserve(t.rank());
+  for (std::size_t i = 0; i < t.rank(); ++i)
+    if (i != a && i != b) perm.push_back(i);
+  perm.push_back(a);
+  perm.push_back(b);
+  const Tensor moved = t.permute(perm);
+
+  std::vector<std::size_t> out_shape(moved.shape().begin(), moved.shape().end() - 2);
+  Tensor out(out_shape);
+  const std::size_t d = t.dim(a);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    cplx s{0.0, 0.0};
+    for (std::size_t k = 0; k < d; ++k) s += moved[i * d * d + k * d + k];
+    out[i] = s;
+  }
+  return out;
+}
+
+Tensor outer(const Tensor& a, const Tensor& b) {
+  std::vector<std::size_t> shape = a.shape();
+  shape.insert(shape.end(), b.shape().begin(), b.shape().end());
+  Tensor out(shape);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const cplx ai = a[i];
+    if (ai == cplx{0.0, 0.0}) continue;
+    cplx* dst = out.data() + i * b.size();
+    const cplx* src = b.data();
+    for (std::size_t j = 0; j < b.size(); ++j) dst[j] += ai * src[j];
+  }
+  return out;
+}
+
+}  // namespace noisim::tsr

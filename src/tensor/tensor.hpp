@@ -1,0 +1,96 @@
+#pragma once
+// Dense rank-k complex tensors with row-major storage.
+//
+// Axis semantics: a tensor of rank r has axes 0..r-1; the *last* axis is
+// contiguous in memory. All quantum wires in noisim carry dimension 2, but
+// the tensor type is dimension-agnostic so bond indices produced by
+// contraction (which can have any size) are first-class.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace noisim::tsr {
+
+using la::Matrix;
+using la::Vector;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  /// Rank-0 tensor holding one value.
+  static Tensor scalar(cplx value);
+  /// Rank-2 tensor copying a matrix (axis 0 = row, axis 1 = column).
+  static Tensor from_matrix(const Matrix& m);
+  /// Rank-1 tensor copying a vector.
+  static Tensor from_vector(const Vector& v);
+  /// Rank-2 identity of the given dimension.
+  static Tensor identity(std::size_t dim);
+
+  std::size_t rank() const { return shape_.size(); }
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t dim(std::size_t axis) const { return shape_[axis]; }
+  std::size_t size() const { return data_.size(); }
+
+  cplx& operator[](std::size_t flat) { return data_[flat]; }
+  const cplx& operator[](std::size_t flat) const { return data_[flat]; }
+  cplx& at(std::span<const std::size_t> idx) { return data_[flat_index(idx)]; }
+  const cplx& at(std::span<const std::size_t> idx) const { return data_[flat_index(idx)]; }
+  cplx& at(std::initializer_list<std::size_t> idx) {
+    return at(std::span<const std::size_t>(idx.begin(), idx.size()));
+  }
+  const cplx& at(std::initializer_list<std::size_t> idx) const {
+    return at(std::span<const std::size_t>(idx.begin(), idx.size()));
+  }
+
+  cplx* data() { return data_.data(); }
+  const cplx* data() const { return data_.data(); }
+
+  /// Row-major flat index of a multi-index.
+  std::size_t flat_index(std::span<const std::size_t> idx) const;
+
+  /// New tensor with axes reordered: result axis i is this->axis perm[i].
+  Tensor permute(std::span<const std::size_t> perm) const;
+  Tensor permute(std::initializer_list<std::size_t> perm) const {
+    return permute(std::span<const std::size_t>(perm.begin(), perm.size()));
+  }
+
+  /// Reinterpret the same data under a new shape (sizes must agree).
+  Tensor reshape(std::vector<std::size_t> new_shape) const;
+
+  /// Entry-wise complex conjugate.
+  Tensor conj() const;
+
+  Tensor& operator*=(cplx s);
+  Tensor& operator+=(const Tensor& o);
+  friend Tensor operator*(cplx s, Tensor t) { return t *= s; }
+  friend Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
+
+  /// View a rank-2 tensor as a Matrix copy.
+  Matrix to_matrix() const;
+  /// View a rank-1 tensor as a Vector copy.
+  Vector to_vector() const;
+  /// Value of a rank-0 tensor.
+  cplx to_scalar() const;
+
+  double frobenius_norm() const;
+  double max_abs() const;
+  bool approx_equal(const Tensor& o, double tol = kDefaultTol) const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<cplx> data_;
+};
+
+/// Partial trace: contract axis a with axis b of the same tensor
+/// (dimensions must match); the result drops both axes.
+Tensor trace_axes(const Tensor& t, std::size_t a, std::size_t b);
+
+/// Outer product: result shape = shape(a) ++ shape(b).
+Tensor outer(const Tensor& a, const Tensor& b);
+
+}  // namespace noisim::tsr

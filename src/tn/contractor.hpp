@@ -1,0 +1,57 @@
+#pragma once
+// Tensor network contraction with pluggable ordering strategies.
+//
+// Strategies:
+//  * Greedy     — repeatedly contract the connected pair with the best
+//                 (result_size - size_a - size_b) score; this is the classic
+//                 opt_einsum-style greedy heuristic and works well on the
+//                 quasi-1D / shallow-grid circuit networks in the paper.
+//  * Sequential — absorb nodes into an accumulator in insertion order. The
+//                 circuit builders insert gate tensors in time order, which
+//                 makes this equivalent to Schrodinger simulation (optimal
+//                 for few qubits / deep circuits). Builders that tag nodes
+//                 with grid coordinates can pass a custom sequence for
+//                 row-sweep (boundary) contraction instead.
+//  * Auto       — Greedy, falling back across strategies on memory-out.
+//
+// Guard rails: the contractor enforces a tensor-size budget and a wall-clock
+// deadline, throwing MemoryOutError / TimeoutError; the benchmark harness
+// maps these to the paper's "MO" / "TO" table entries.
+
+#include <cstddef>
+#include <vector>
+
+#include "tn/network.hpp"
+
+namespace noisim::tn {
+
+enum class OrderStrategy { Auto, Greedy, Sequential };
+
+struct ContractOptions {
+  OrderStrategy strategy = OrderStrategy::Auto;
+  /// Maximum number of complex elements a single intermediate may hold.
+  /// 2^26 elements = 1 GiB of complex<double>.
+  std::size_t max_tensor_elems = std::size_t{1} << 26;
+  /// Wall-clock budget in seconds; 0 disables the deadline.
+  double timeout_seconds = 0.0;
+  /// When non-empty: node indices in the order Sequential should absorb
+  /// them (must be a permutation of all node indices).
+  std::vector<std::size_t> custom_sequence;
+};
+
+struct ContractStats {
+  std::size_t num_pairwise = 0;   // pairwise contractions performed
+  std::size_t peak_elems = 0;     // largest intermediate produced
+  double elapsed_seconds = 0.0;
+};
+
+/// Contract the whole network down to a single tensor whose axes are the
+/// network's open edges in ascending edge-id order.
+tsr::Tensor contract_network(const Network& net, const ContractOptions& opts = {},
+                             ContractStats* stats = nullptr);
+
+/// Contract a closed network (no open edges) to its scalar value.
+cplx contract_to_scalar(const Network& net, const ContractOptions& opts = {},
+                        ContractStats* stats = nullptr);
+
+}  // namespace noisim::tn

@@ -1,0 +1,49 @@
+#include "tn/network.hpp"
+
+#include <algorithm>
+
+namespace noisim::tn {
+
+std::size_t Network::add_node(tsr::Tensor tensor, std::vector<EdgeId> edges, std::string label) {
+  la::detail::require(tensor.rank() == edges.size(), "Network::add_node: edge/axis count mismatch");
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    for (std::size_t j = i + 1; j < edges.size(); ++j)
+      la::detail::require(edges[i] != edges[j], "Network::add_node: self-loop edge");
+
+  const std::size_t idx = nodes_.size();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    la::detail::require(edges[i] < next_edge_, "Network::add_node: unknown edge id");
+    auto& eps = endpoints_[edges[i]];
+    la::detail::require(eps.size() < 2, "Network::add_node: edge already has two endpoints");
+    if (!eps.empty()) {
+      const Endpoint other = eps.front();
+      la::detail::require(nodes_[other.node].tensor.dim(other.axis) == tensor.dim(i),
+                          "Network::add_node: edge dimension mismatch");
+    }
+    eps.push_back(Endpoint{idx, i});
+  }
+  nodes_.push_back(Node{std::move(tensor), std::move(edges), std::move(label)});
+  return idx;
+}
+
+const std::vector<Endpoint>& Network::endpoints(EdgeId e) const {
+  static const std::vector<Endpoint> kEmpty;
+  const auto it = endpoints_.find(e);
+  return it == endpoints_.end() ? kEmpty : it->second;
+}
+
+std::vector<EdgeId> Network::open_edges() const {
+  std::vector<EdgeId> open;
+  for (const auto& [edge, eps] : endpoints_)
+    if (eps.size() == 1) open.push_back(edge);
+  std::sort(open.begin(), open.end());
+  return open;
+}
+
+std::size_t Network::total_elements() const {
+  std::size_t total = 0;
+  for (const Node& n : nodes_) total += n.tensor.size();
+  return total;
+}
+
+}  // namespace noisim::tn

@@ -1,0 +1,72 @@
+#pragma once
+// Tensor network graph: tensors (nodes) joined by shared indices (edges).
+//
+// This module replaces the role Google TensorNetwork plays in the paper's
+// implementation: it stores the network and hands it to a contractor
+// (contractor.hpp) that picks a pairwise contraction order.
+//
+// Conventions:
+//  * An edge id may appear on at most two node axes in the whole network.
+//  * An edge appearing once is "open" (a free index of the final result).
+//  * Self-loops (same edge twice on one node) are rejected; use
+//    tsr::trace_axes before adding such a tensor.
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace noisim::tn {
+
+using EdgeId = std::size_t;
+
+struct Node {
+  tsr::Tensor tensor;
+  std::vector<EdgeId> edges;  // edges[i] labels tensor axis i
+  std::string label;          // for diagnostics
+};
+
+/// (node index, axis) endpoint of an edge.
+struct Endpoint {
+  std::size_t node;
+  std::size_t axis;
+};
+
+class Network {
+ public:
+  /// Allocate a fresh edge id (not yet attached to any node).
+  EdgeId new_edge() { return next_edge_++; }
+  /// Allocate `count` fresh consecutive edge ids, returning the first.
+  EdgeId new_edges(std::size_t count) {
+    const EdgeId first = next_edge_;
+    next_edge_ += count;
+    return first;
+  }
+
+  /// Add a tensor whose axis i is labeled edges[i]. Returns the node index.
+  std::size_t add_node(tsr::Tensor tensor, std::vector<EdgeId> edges, std::string label = {});
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(std::size_t i) const { return nodes_[i]; }
+  Node& node(std::size_t i) { return nodes_[i]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Current endpoints of an edge (0, 1, or 2 entries).
+  const std::vector<Endpoint>& endpoints(EdgeId e) const;
+
+  /// Edge ids appearing exactly once (free indices of the contraction),
+  /// in ascending edge-id order.
+  std::vector<EdgeId> open_edges() const;
+
+  /// Total number of tensor elements stored (diagnostics).
+  std::size_t total_elements() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::unordered_map<EdgeId, std::vector<Endpoint>> endpoints_;
+  EdgeId next_edge_ = 0;
+};
+
+}  // namespace noisim::tn

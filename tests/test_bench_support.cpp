@@ -1,0 +1,215 @@
+// Tests for the benchmark circuit generators and harness utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_support/generators.hpp"
+#include "bench_support/harness.hpp"
+#include "core/circuit_network.hpp"
+#include "sim/statevector.hpp"
+
+namespace noisim::bench {
+namespace {
+
+TEST(QaoaGenerator, ShapeAndDeterminism) {
+  const qc::Circuit a = qaoa_grid(3, 3, 1, 7);
+  EXPECT_EQ(a.num_qubits(), 9);
+  EXPECT_GT(a.size(), 9u * 2u);
+  EXPECT_GT(a.depth(), 4u);
+  const qc::Circuit b = qaoa_grid(3, 3, 1, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(a.gates()[i].matrix().approx_equal(b.gates()[i].matrix()));
+  // Different seed differs somewhere.
+  const qc::Circuit c = qaoa_grid(3, 3, 1, 8);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i)
+    differs = !a.gates()[i].matrix().approx_equal(c.gates()[i].matrix());
+  EXPECT_TRUE(differs);
+}
+
+TEST(QaoaGenerator, CoversEveryGridEdgeOncePerRound) {
+  const int rows = 3, cols = 4;
+  const qc::Circuit c = qaoa_grid(rows, cols, 1, 1);
+  std::size_t cx_count = 0;
+  for (const auto& g : c.gates())
+    if (g.kind == qc::GateKind::CX) ++cx_count;
+  const std::size_t edges =
+      static_cast<std::size_t>(rows * (cols - 1) + cols * (rows - 1));
+  EXPECT_EQ(cx_count, 2 * edges);  // CX-RZ-CX per edge
+}
+
+TEST(QaoaGenerator, CircuitIsGenuinelyEntangling) {
+  // Regression: a CZ-RZ-CZ interaction commutes away (diagonal sandwich);
+  // the generator must emit a real ZZ coupling.
+  const qc::Circuit c = qaoa_grid(2, 2, 1, 4);
+  sim::Statevector sv(4);
+  sv.apply_circuit(c);
+  // A product state obeys |amp(b)| = prod of per-qubit magnitudes; test a
+  // correlation witness instead: P(00..) * P(11..) != P(01..) * P(10..).
+  const double p00 = std::norm(sv.amplitude(0b0000)), p11 = std::norm(sv.amplitude(0b1100));
+  const double p01 = std::norm(sv.amplitude(0b0100)), p10 = std::norm(sv.amplitude(0b1000));
+  EXPECT_GT(std::abs(p00 * p11 - p01 * p10), 1e-6);
+}
+
+TEST(QaoaGenerator, PerfectSquareHelper) {
+  EXPECT_EQ(qaoa(16, 1, 3).num_qubits(), 16);
+  EXPECT_THROW(qaoa(15, 1, 3), LinalgError);
+}
+
+TEST(QaoaGenerator, RoundsScaleGateCount) {
+  const std::size_t one = qaoa_grid(3, 3, 1, 5).size();
+  const std::size_t three = qaoa_grid(3, 3, 3, 5).size();
+  EXPECT_GT(three, 2 * one - 20);
+}
+
+TEST(HfVqeGenerator, GivensNetworkShape) {
+  const qc::Circuit c = hf_vqe(8, 11);
+  EXPECT_EQ(c.num_qubits(), 8);
+  std::size_t givens = 0, xs = 0;
+  for (const auto& g : c.gates()) {
+    if (g.kind == qc::GateKind::Givens) ++givens;
+    if (g.kind == qc::GateKind::X) ++xs;
+  }
+  EXPECT_EQ(xs, 4u);                       // n/2 occupation
+  EXPECT_EQ(givens, 8u * 7u / 2u);         // triangular network
+}
+
+TEST(HfVqeGenerator, PreservesParticleNumber) {
+  // The Givens network conserves Hamming weight: the output has support
+  // only on basis states with n/2 ones.
+  const int n = 4;
+  const qc::Circuit c = hf_vqe(n, 3);
+  sim::Statevector sv(n);
+  sv.apply_circuit(c);
+  for (std::uint64_t b = 0; b < (1u << n); ++b) {
+    if (std::popcount(b) != n / 2) {
+      EXPECT_NEAR(std::abs(sv.amplitude(b)), 0.0, 1e-10) << "basis " << b;
+    }
+  }
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+}
+
+TEST(SupremacyGenerator, LayerStructure) {
+  const qc::Circuit c = supremacy_inst(4, 4, 10, 21);
+  EXPECT_EQ(c.num_qubits(), 16);
+  // Opening H layer.
+  for (int q = 0; q < 16; ++q) EXPECT_EQ(c.gates()[static_cast<std::size_t>(q)].kind, qc::GateKind::H);
+  // Contains CZs and T/sqrt gates.
+  std::size_t czs = 0, oneq = 0;
+  for (std::size_t i = 16; i < c.size(); ++i) {
+    if (c.gates()[i].kind == qc::GateKind::CZ)
+      ++czs;
+    else
+      ++oneq;
+  }
+  EXPECT_GT(czs, 10u);
+  EXPECT_GT(oneq, 5u);
+  EXPECT_GE(c.depth(), 10u);
+}
+
+TEST(SupremacyGenerator, FirstSingleQubitGateIsT) {
+  const qc::Circuit c = supremacy_inst(3, 3, 12, 5);
+  std::vector<bool> seen(9, false);
+  for (const auto& g : c.gates()) {
+    if (g.kind == qc::GateKind::H || g.num_qubits() == 2) continue;
+    const auto q = static_cast<std::size_t>(g.qubits[0]);
+    if (!seen[q]) {
+      EXPECT_EQ(g.kind, qc::GateKind::T) << "qubit " << q;
+      seen[q] = true;
+    }
+  }
+}
+
+TEST(SupremacyGenerator, DeterministicBySeed) {
+  const qc::Circuit a = supremacy_inst(3, 3, 9, 2);
+  const qc::Circuit b = supremacy_inst(3, 3, 9, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.gates()[i].kind, b.gates()[i].kind);
+}
+
+TEST(InsertNoises, CountAndPlacement) {
+  const qc::Circuit c = qaoa_grid(2, 2, 1, 3);
+  const ch::NoisyCircuit nc = insert_noises(c, 5, depolarizing_noise(0.01), 9);
+  EXPECT_EQ(nc.noise_count(), 5u);
+  EXPECT_EQ(nc.gates_only().size(), c.size());
+  // Each noise directly follows a gate acting on its qubit.
+  const auto& ops = nc.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (const ch::NoiseOp* noise = std::get_if<ch::NoiseOp>(&ops[i])) {
+      ASSERT_GT(i, 0u);
+      const qc::Gate& g = std::get<qc::Gate>(ops[i - 1]);
+      EXPECT_TRUE(g.acts_on(noise->qubit));
+    }
+  }
+}
+
+TEST(InsertNoises, RejectsTooMany) {
+  const qc::Circuit c = qaoa_grid(2, 2, 1, 3);
+  EXPECT_THROW(insert_noises(c, c.size() + 1, depolarizing_noise(0.01), 1), LinalgError);
+}
+
+TEST(InsertNoises, DeterministicBySeed) {
+  const qc::Circuit c = qaoa_grid(2, 3, 1, 3);
+  const ch::NoisyCircuit a = insert_noises(c, 4, depolarizing_noise(0.02), 17);
+  const ch::NoisyCircuit b = insert_noises(c, 4, depolarizing_noise(0.02), 17);
+  EXPECT_EQ(a.noise_positions(), b.noise_positions());
+}
+
+TEST(NoiseModels, RealisticRateIsNearTarget) {
+  std::mt19937_64 rng(1);
+  const NoiseModel model = realistic_noise(7e-3);
+  for (int i = 0; i < 10; ++i) {
+    const double rate = model(rng).noise_rate();
+    EXPECT_GT(rate, 2e-3);
+    EXPECT_LT(rate, 2e-2);
+  }
+}
+
+TEST(NoiseModels, DepolarizingRate) {
+  std::mt19937_64 rng(1);
+  EXPECT_NEAR(depolarizing_noise(0.003)(rng).noise_rate(), 0.004, 1e-9);
+}
+
+// --- harness ------------------------------------------------------------------
+
+TEST(Harness, RunGuardedOk) {
+  const RunOutcome r = run_guarded([] { return 0.75; });
+  EXPECT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value, 0.75);
+  EXPECT_EQ(format_value(r), "7.50e-01");
+}
+
+TEST(Harness, RunGuardedMapsMemoryOut) {
+  const RunOutcome r = run_guarded([]() -> double { throw MemoryOutError("big"); });
+  EXPECT_EQ(r.status, RunOutcome::Status::MemoryOut);
+  EXPECT_EQ(format_time(r), "MO");
+  EXPECT_EQ(format_value(r), "MO");
+}
+
+TEST(Harness, RunGuardedMapsTimeout) {
+  const RunOutcome r = run_guarded([]() -> double { throw TimeoutError("slow"); });
+  EXPECT_EQ(r.status, RunOutcome::Status::Timeout);
+  EXPECT_EQ(format_time(r), "TO");
+}
+
+TEST(Harness, TableAlignsColumns) {
+  Table t({"circuit", "time"});
+  t.add_row({"hf_6", "0.17"});
+  t.add_row({"qaoa_225", "925.87"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("hf_6      0.17"), std::string::npos);
+  EXPECT_NE(s.find("qaoa_225  925.87"), std::string::npos);
+}
+
+TEST(Harness, CsvWriter) {
+  std::ostringstream os;
+  write_csv(os, {{"a", "b"}, {"1", "2"}});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace noisim::bench

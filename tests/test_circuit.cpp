@@ -1,0 +1,260 @@
+// Tests for gates, circuits and the peephole simplifier.
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <random>
+
+#include "circuit/circuit.hpp"
+#include "circuit/simplify.hpp"
+#include "linalg/qr.hpp"
+
+namespace noisim::qc {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Gate, NamedSingleQubitGatesAreUnitary) {
+  const Gate gates[] = {h(0),      x(0),     y(0),        z(0),        s(0),
+                        sdg(0),    t(0),     tdg(0),      sqrt_x(0),   sqrt_y(0),
+                        sqrt_w(0), rx(0, 0.7), ry(0, -1.2), rz(0, 2.5), phase(0, 0.3)};
+  for (const Gate& g : gates) EXPECT_TRUE(g.matrix().is_unitary(1e-12)) << g.description();
+}
+
+TEST(Gate, NamedTwoQubitGatesAreUnitary) {
+  const Gate gates[] = {cz(0, 1),        cx(0, 1),          cphase(0, 1, 0.9),
+                        zz(0, 1, 0.4),   fsim(0, 1, 0.5, 0.2), givens(0, 1, 0.8)};
+  for (const Gate& g : gates) EXPECT_TRUE(g.matrix().is_unitary(1e-12)) << g.description();
+}
+
+TEST(Gate, SquareRootGatesSquareToBase) {
+  EXPECT_TRUE((sqrt_x(0).matrix() * sqrt_x(0).matrix()).approx_equal(x(0).matrix(), 1e-12));
+  EXPECT_TRUE((sqrt_y(0).matrix() * sqrt_y(0).matrix()).approx_equal(y(0).matrix(), 1e-12));
+  // W = (X + Y)/sqrt(2).
+  la::Matrix w = x(0).matrix();
+  w += y(0).matrix();
+  w *= 1.0 / std::numbers::sqrt2;
+  EXPECT_TRUE((sqrt_w(0).matrix() * sqrt_w(0).matrix()).approx_equal(w, 1e-12));
+}
+
+TEST(Gate, SAndTRelations) {
+  EXPECT_TRUE((t(0).matrix() * t(0).matrix()).approx_equal(s(0).matrix(), 1e-12));
+  EXPECT_TRUE((s(0).matrix() * s(0).matrix()).approx_equal(z(0).matrix(), 1e-12));
+}
+
+TEST(Gate, HadamardDiagonalizesX) {
+  const la::Matrix hm = h(0).matrix();
+  EXPECT_TRUE((hm * x(0).matrix() * hm).approx_equal(z(0).matrix(), 1e-12));
+}
+
+TEST(Gate, RotationComposition) {
+  // Rz(a) Rz(b) = Rz(a+b).
+  EXPECT_TRUE((rz(0, 0.3).matrix() * rz(0, 0.9).matrix()).approx_equal(rz(0, 1.2).matrix(), 1e-12));
+  // Rx(pi) = -iX.
+  la::Matrix want = x(0).matrix();
+  want *= cplx{0.0, -1.0};
+  EXPECT_TRUE(rx(0, kPi).matrix().approx_equal(want, 1e-12));
+}
+
+TEST(Gate, ControlledGateBlocks) {
+  const la::Matrix m = cx(0, 1).matrix();
+  // |10> -> |11>.
+  EXPECT_TRUE(approx_equal(m(3, 2), cplx{1, 0}));
+  EXPECT_TRUE(approx_equal(m(2, 3), cplx{1, 0}));
+  const la::Matrix u{{0, 1}, {1, 0}};
+  EXPECT_TRUE(cu(0, 1, u).matrix().approx_equal(m, 1e-12));
+}
+
+TEST(Gate, CzMatchesPaperMatrix) {
+  const la::Matrix m = cz(0, 1).matrix();
+  EXPECT_TRUE(m.is_diagonal());
+  EXPECT_TRUE(approx_equal(m(3, 3), cplx{-1, 0}));
+}
+
+TEST(Gate, ZZIsExpOfPauliZZ) {
+  const double gamma = 0.7;
+  const la::Matrix m = zz(0, 1, gamma).matrix();
+  EXPECT_TRUE(approx_equal(m(0, 0), std::polar(1.0, -gamma / 2)));
+  EXPECT_TRUE(approx_equal(m(1, 1), std::polar(1.0, gamma / 2)));
+  EXPECT_TRUE(approx_equal(m(3, 3), std::polar(1.0, -gamma / 2)));
+}
+
+TEST(Gate, FsimAtZeroIsIdentity) {
+  EXPECT_TRUE(fsim(0, 1, 0.0, 0.0).matrix().is_identity(1e-12));
+}
+
+TEST(Gate, GivensRotatesSingleExcitationSubspace) {
+  const la::Matrix m = givens(0, 1, kPi / 2).matrix();
+  // |01> -> |10> at theta = pi/2.
+  EXPECT_TRUE(approx_equal(m(2, 1), cplx{1, 0}));
+  EXPECT_TRUE(approx_equal(m(1, 2), cplx{-1, 0}));
+}
+
+class AdjointEveryKind : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdjointEveryKind, AdjointInvertsGate) {
+  std::mt19937_64 rng(42);
+  const std::vector<Gate> gates = {
+      h(0),      x(0),        y(0),          z(0),          s(0),          sdg(0),
+      t(0),      tdg(0),      sqrt_x(0),     sqrt_y(0),     sqrt_w(0),     rx(0, 0.7),
+      ry(0, 1.3), rz(0, -0.4), phase(0, 0.9), cz(0, 1),      cx(0, 1),      cphase(0, 1, 1.1),
+      zz(0, 1, 0.6), fsim(0, 1, 0.3, 0.8),   givens(0, 1, 0.5),
+      cu(0, 1, la::random_unitary(2, rng)),  u1q(0, la::random_unitary(2, rng)),
+      u2q(0, 1, la::random_unitary(4, rng))};
+  const Gate& g = gates[static_cast<std::size_t>(GetParam())];
+  EXPECT_TRUE((g.matrix() * g.adjoint().matrix()).is_identity(1e-12)) << g.description();
+  EXPECT_TRUE(is_inverse_pair(g, g.adjoint())) << g.description();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AdjointEveryKind, ::testing::Range(0, 24));
+
+TEST(Gate, IsInversePairRejectsDifferentQubits) {
+  EXPECT_FALSE(is_inverse_pair(h(0), h(1)));
+  EXPECT_FALSE(is_inverse_pair(cz(0, 1), cz(0, 2)));
+  EXPECT_FALSE(is_inverse_pair(h(0), cz(0, 1)));
+}
+
+TEST(Gate, FactoryValidation) {
+  EXPECT_THROW(h(-1), LinalgError);
+  EXPECT_THROW(cz(2, 2), LinalgError);
+  EXPECT_THROW(u1q(0, la::Matrix(3, 3)), LinalgError);
+}
+
+// --- circuit -----------------------------------------------------------------
+
+TEST(Circuit, AddValidatesQubits) {
+  Circuit c(2);
+  EXPECT_NO_THROW(c.add(cz(0, 1)));
+  EXPECT_THROW(c.add(h(2)), LinalgError);
+  EXPECT_THROW(c.add(cz(0, 2)), LinalgError);
+}
+
+TEST(Circuit, DepthLayersDisjointGates) {
+  Circuit c(4);
+  c.add(h(0)).add(h(1)).add(h(2)).add(h(3));
+  EXPECT_EQ(c.depth(), 1u);
+  c.add(cz(0, 1)).add(cz(2, 3));
+  EXPECT_EQ(c.depth(), 2u);
+  c.add(cz(1, 2));
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, TwoQubitCount) {
+  Circuit c(3);
+  c.add(h(0)).add(cz(0, 1)).add(cx(1, 2)).add(t(2));
+  EXPECT_EQ(c.two_qubit_count(), 2u);
+}
+
+TEST(Circuit, AdjointReversesAndInverts) {
+  Circuit c(2);
+  c.add(h(0)).add(cz(0, 1)).add(rx(1, 0.7));
+  const la::Matrix u = circuit_unitary(c);
+  const la::Matrix udg = circuit_unitary(c.adjoint());
+  EXPECT_TRUE((u * udg).is_identity(1e-10));
+}
+
+TEST(Circuit, UnitaryOfBellPairCircuit) {
+  Circuit c(2);
+  c.add(h(0)).add(cx(0, 1));
+  const la::Matrix u = circuit_unitary(c);
+  // |00> -> (|00> + |11>)/sqrt(2).
+  EXPECT_TRUE(approx_equal(u(0, 0), cplx{1 / std::numbers::sqrt2, 0}, 1e-12));
+  EXPECT_TRUE(approx_equal(u(3, 0), cplx{1 / std::numbers::sqrt2, 0}, 1e-12));
+  EXPECT_TRUE(approx_equal(u(1, 0), cplx{0, 0}, 1e-12));
+}
+
+TEST(Circuit, UnitaryQubitOrderingConvention) {
+  // X on qubit 0 of two qubits: |00> -> |10>, i.e. column 0 row 2.
+  Circuit c(2);
+  c.add(x(0));
+  const la::Matrix u = circuit_unitary(c);
+  EXPECT_TRUE(approx_equal(u(2, 0), cplx{1, 0}, 1e-12));
+}
+
+TEST(Circuit, AppendAndCompose) {
+  Circuit a(2), b(2);
+  a.add(h(0));
+  b.add(cx(0, 1));
+  Circuit ab = a;
+  ab.append(b);
+  EXPECT_EQ(ab.size(), 2u);
+  const la::Matrix u = circuit_unitary(ab);
+  EXPECT_TRUE(u.approx_equal(circuit_unitary(b) * circuit_unitary(a), 1e-12));
+}
+
+// --- simplify ----------------------------------------------------------------
+
+TEST(Simplify, CancelsAdjacentInversePair) {
+  std::vector<Gate> gates{h(0), h(0)};
+  EXPECT_TRUE(cancel_inverse_pairs(gates).empty());
+}
+
+TEST(Simplify, CancelsAcrossDisjointGates) {
+  std::vector<Gate> gates{h(0), x(1), cz(2, 3), h(0)};
+  const auto out = cancel_inverse_pairs(gates);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, GateKind::X);
+  EXPECT_EQ(out[1].kind, GateKind::CZ);
+}
+
+TEST(Simplify, BlockedByOverlappingGate) {
+  std::vector<Gate> gates{h(0), x(0), h(0)};
+  EXPECT_EQ(cancel_inverse_pairs(gates).size(), 3u);
+}
+
+TEST(Simplify, CascadesNestedPairs) {
+  // h x x h -> h h -> empty.
+  std::vector<Gate> gates{h(0), x(0), x(0), h(0)};
+  EXPECT_TRUE(cancel_inverse_pairs(gates).empty());
+}
+
+TEST(Simplify, MirroredCircuitCollapsesOutsideLightCone) {
+  // C then C^dagger with a marker gate between on qubit 1: only the light
+  // cone of the marker survives.
+  Circuit c(4);
+  c.add(h(0)).add(cz(0, 1)).add(cz(2, 3)).add(rx(3, 0.4)).add(ry(1, 0.2));
+  std::vector<Gate> gates = c.gates();
+  gates.push_back(z(1));  // marker (self-inverse but nothing pairs with it)
+  const Circuit inv = c.adjoint();
+  gates.insert(gates.end(), inv.gates().begin(), inv.gates().end());
+
+  const auto out = cancel_inverse_pairs(gates);
+  // Expected survivors: the light cone of qubit 1 = {ry(1), z(1), ry(1)^dag,
+  // cz(0,1) pair, h(0) pair} -- cz/h do NOT cancel because z(1) blocks
+  // between them. Everything on qubits 2,3 cancels.
+  for (const Gate& g : out) {
+    EXPECT_FALSE(g.acts_on(2)) << g.description();
+    EXPECT_FALSE(g.acts_on(3)) << g.description();
+  }
+  EXPECT_LT(out.size(), gates.size());
+}
+
+TEST(Simplify, PreservesCircuitUnitary) {
+  std::mt19937_64 rng(5);
+  for (int seed = 0; seed < 6; ++seed) {
+    Circuit c(3);
+    std::uniform_int_distribution<int> pick(0, 4);
+    for (int i = 0; i < 12; ++i) {
+      switch (pick(rng)) {
+        case 0: c.add(h(i % 3)); break;
+        case 1: c.add(t(i % 3)); break;
+        case 2: c.add(tdg(i % 3)); break;
+        case 3: c.add(cz(i % 3, (i + 1) % 3)); break;
+        case 4: c.add(rx(i % 3, 0.3)); break;
+      }
+    }
+    Circuit cc = c;
+    cc.append(c.adjoint());
+    const Circuit reduced = cancel_inverse_pairs(cc);
+    EXPECT_TRUE(circuit_unitary(reduced).is_identity(1e-9));
+  }
+}
+
+TEST(Simplify, LightConeComputation) {
+  Circuit c(4);
+  c.add(cz(0, 1)).add(cz(1, 2)).add(h(3));
+  const auto cone = light_cone(c.gates(), {2});
+  EXPECT_EQ(cone, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace noisim::qc

@@ -1,0 +1,247 @@
+// Unit tests for the dense linear algebra substrate.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/eig.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+
+namespace noisim::la {
+namespace {
+
+constexpr cplx kI{0.0, 1.0};
+
+TEST(Vector, NormAndDot) {
+  Vector v{cplx{3, 0}, cplx{0, 4}};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  Vector w{cplx{1, 0}, cplx{0, 1}};
+  // <w|v> = conj(1)*3 + conj(i)*4i = 3 + 4.
+  EXPECT_TRUE(approx_equal(dot(w, v), cplx{7.0, 0.0}));
+}
+
+TEST(Vector, DotIsConjugateLinearInFirstArgument) {
+  Vector a{kI, cplx{2, 0}};
+  Vector b{cplx{1, 0}, cplx{0, 0}};
+  EXPECT_TRUE(approx_equal(dot(a, b), -kI));
+  EXPECT_TRUE(approx_equal(dot(b, a), kI));
+}
+
+TEST(Vector, NormalizeZeroThrows) {
+  Vector v(3);
+  EXPECT_THROW(v.normalize(), LinalgError);
+}
+
+TEST(Vector, KronOrdering) {
+  Vector a{cplx{1, 0}, cplx{2, 0}};
+  Vector b{cplx{3, 0}, cplx{5, 0}};
+  const Vector k = kron(a, b);
+  ASSERT_EQ(k.size(), 4u);
+  EXPECT_TRUE(approx_equal(k[0], cplx{3, 0}));
+  EXPECT_TRUE(approx_equal(k[1], cplx{5, 0}));
+  EXPECT_TRUE(approx_equal(k[2], cplx{6, 0}));
+  EXPECT_TRUE(approx_equal(k[3], cplx{10, 0}));
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_TRUE(approx_equal(m(1, 0), cplx{3, 0}));
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), LinalgError);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_TRUE(approx_equal(c(0, 0), cplx{19, 0}));
+  EXPECT_TRUE(approx_equal(c(0, 1), cplx{22, 0}));
+  EXPECT_TRUE(approx_equal(c(1, 0), cplx{43, 0}));
+  EXPECT_TRUE(approx_equal(c(1, 1), cplx{50, 0}));
+}
+
+TEST(Matrix, AdjointConjTranspose) {
+  Matrix m{{cplx{1, 1}, cplx{2, -1}}, {cplx{0, 3}, cplx{4, 0}}};
+  const Matrix a = m.adjoint();
+  EXPECT_TRUE(approx_equal(a(0, 0), cplx{1, -1}));
+  EXPECT_TRUE(approx_equal(a(0, 1), cplx{0, -3}));
+  EXPECT_TRUE(approx_equal(a(1, 0), cplx{2, 1}));
+  EXPECT_TRUE(m.transpose().conj().approx_equal(a));
+}
+
+TEST(Matrix, TraceAndNorms) {
+  Matrix m{{3, 0}, {0, cplx{0, 4}}};
+  EXPECT_TRUE(approx_equal(m.trace(), cplx{3, 4}));
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(Matrix, HermitianUnitaryDiagonalPredicates) {
+  Matrix h{{1, kI}, {-kI, 2}};
+  EXPECT_TRUE(h.is_hermitian());
+  EXPECT_FALSE(h.is_unitary());
+  Matrix pauli_y{{0, -kI}, {kI, 0}};
+  EXPECT_TRUE(pauli_y.is_unitary());
+  EXPECT_TRUE(pauli_y.is_hermitian());
+  EXPECT_FALSE(pauli_y.is_diagonal());
+  EXPECT_TRUE(Matrix::identity(3).is_diagonal());
+}
+
+TEST(Matrix, KronMatchesDefinition) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{0, 5}, {6, 7}};
+  const Matrix k = kron(a, b);
+  ASSERT_EQ(k.rows(), 4u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      for (std::size_t p = 0; p < 2; ++p)
+        for (std::size_t q = 0; q < 2; ++q)
+          EXPECT_TRUE(approx_equal(k(2 * i + p, 2 * j + q), a(i, j) * b(p, q)));
+}
+
+TEST(Matrix, VecUnvecRoundTrip) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Vector v = vec(m);
+  EXPECT_TRUE(approx_equal(v[4], cplx{5, 0}));  // row-major
+  EXPECT_TRUE(unvec(v, 2, 3).approx_equal(m));
+}
+
+TEST(Matrix, OuterProduct) {
+  Vector a{cplx{1, 0}, cplx{0, 1}};
+  Vector b{cplx{0, 2}, cplx{3, 0}};
+  const Matrix o = Matrix::outer(a, b);
+  // |a><b|(0,0) = a0 * conj(b0) = 1 * (-2i).
+  EXPECT_TRUE(approx_equal(o(0, 0), cplx{0, -2}));
+  EXPECT_TRUE(approx_equal(o(1, 1), cplx{0, 3}));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, LinalgError);
+  EXPECT_NO_THROW(a += b);
+  Matrix c(3, 3);
+  EXPECT_THROW(a += c, LinalgError);
+}
+
+// --- SVD --------------------------------------------------------------------
+
+class SvdRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SvdRandom, ReconstructsSquareMatrix) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  const Matrix a = random_ginibre(4, 4, rng);
+  const SvdResult r = svd(a);
+  EXPECT_TRUE(r.reconstruct().approx_equal(a, 1e-9));
+  for (std::size_t i = 0; i + 1 < r.s.size(); ++i) EXPECT_GE(r.s[i], r.s[i + 1]);
+  EXPECT_TRUE((r.u.adjoint() * r.u).is_identity(1e-9));
+  EXPECT_TRUE((r.v.adjoint() * r.v).is_identity(1e-9));
+}
+
+TEST_P(SvdRandom, ReconstructsRectangularMatrices) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const Matrix tall = random_ginibre(7, 3, rng);
+  EXPECT_TRUE(svd(tall).reconstruct().approx_equal(tall, 1e-9));
+  const Matrix wide = random_ginibre(3, 7, rng);
+  EXPECT_TRUE(svd(wide).reconstruct().approx_equal(wide, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvdRandom, ::testing::Range(0, 12));
+
+TEST(Svd, SingularValuesOfDiagonal) {
+  Matrix m{{cplx{0, 3}, 0}, {0, cplx{-4, 0}}};
+  const SvdResult r = svd(m);
+  ASSERT_EQ(r.s.size(), 2u);
+  EXPECT_NEAR(r.s[0], 4.0, 1e-12);
+  EXPECT_NEAR(r.s[1], 3.0, 1e-12);
+}
+
+TEST(Svd, SpectralNormOfUnitaryIsOne) {
+  std::mt19937_64 rng(7);
+  EXPECT_NEAR(spectral_norm(random_unitary(4, rng)), 1.0, 1e-9);
+}
+
+TEST(Svd, RankOfOuterProduct) {
+  Vector a{cplx{1, 0}, cplx{2, 0}, cplx{0, 1}};
+  const Matrix m = Matrix::outer(a, a);
+  EXPECT_EQ(svd(m).rank(), 1u);
+}
+
+TEST(Svd, ZeroMatrix) {
+  const SvdResult r = svd(Matrix(3, 3));
+  EXPECT_EQ(r.rank(), 0u);
+  EXPECT_NEAR(r.s[0], 0.0, 1e-300);
+}
+
+TEST(Svd, TruncatedApproxIsEckartYoungOptimal) {
+  std::mt19937_64 rng(11);
+  const Matrix a = random_ginibre(4, 4, rng);
+  const SvdResult r = svd(a);
+  const Matrix a1 = truncated_svd_approx(a, 1);
+  Matrix diff = a;
+  diff -= a1;
+  // ||A - A_1||_2 equals the second singular value.
+  EXPECT_NEAR(spectral_norm(diff), r.s[1], 1e-8);
+}
+
+// --- Hermitian eigendecomposition -------------------------------------------
+
+TEST(Eigh, DiagonalizesRandomHermitian) {
+  std::mt19937_64 rng(3);
+  const Matrix g = random_ginibre(5, 5, rng);
+  Matrix h = g;
+  h += g.adjoint();  // Hermitian
+  const EigResult e = eigh(h);
+  // V diag(w) V^dag == H.
+  Matrix vd(5, 5);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) vd(i, j) = e.v(i, j) * e.w[j];
+  EXPECT_TRUE((vd * e.v.adjoint()).approx_equal(h, 1e-8));
+  for (std::size_t i = 0; i + 1 < e.w.size(); ++i) EXPECT_LE(e.w[i], e.w[i + 1]);
+}
+
+TEST(Eigh, RejectsNonHermitian) {
+  Matrix m{{0, 1}, {0, 0}};
+  EXPECT_THROW(eigh(m), LinalgError);
+}
+
+TEST(Eigh, PsdPredicate) {
+  Matrix psd{{2, 1}, {1, 2}};
+  EXPECT_TRUE(is_positive_semidefinite(psd));
+  Matrix indef{{1, 0}, {0, -1}};
+  EXPECT_FALSE(is_positive_semidefinite(indef));
+}
+
+// --- QR / random unitaries ---------------------------------------------------
+
+TEST(Qr, FactorizesAndIsOrthonormal) {
+  std::mt19937_64 rng(5);
+  const Matrix a = random_ginibre(6, 4, rng);
+  const QrResult f = qr(a);
+  EXPECT_TRUE((f.q * f.r).approx_equal(a, 1e-9));
+  EXPECT_TRUE((f.q.adjoint() * f.q).is_identity(1e-9));
+  for (std::size_t i = 1; i < 4; ++i)
+    for (std::size_t j = 0; j < i; ++j) EXPECT_LT(std::abs(f.r(i, j)), 1e-12);
+}
+
+class RandomUnitarySeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomUnitarySeeds, ProducesUnitaries) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  for (std::size_t dim : {2u, 4u, 8u}) EXPECT_TRUE(random_unitary(dim, rng).is_unitary(1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomUnitarySeeds, ::testing::Range(0, 6));
+
+TEST(RandomState, IsNormalized) {
+  std::mt19937_64 rng(9);
+  EXPECT_NEAR(random_state(8, rng).norm(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace noisim::la

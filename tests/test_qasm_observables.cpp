@@ -1,0 +1,197 @@
+// Tests for OpenQASM interop and Pauli observables.
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <random>
+
+#include "bench_support/generators.hpp"
+#include "channels/catalog.hpp"
+#include "circuit/qasm.hpp"
+#include "core/observables.hpp"
+#include "sim/density.hpp"
+#include "sim/statevector.hpp"
+
+namespace noisim {
+namespace {
+
+// --- QASM export ------------------------------------------------------------
+
+TEST(QasmExport, HeaderAndRegister) {
+  qc::Circuit c(3);
+  c.add(qc::h(0));
+  const std::string q = qc::to_qasm(c);
+  EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(q.find("qreg q[3];"), std::string::npos);
+  EXPECT_NE(q.find("h q[0];"), std::string::npos);
+}
+
+TEST(QasmExport, AllSpellableKinds) {
+  qc::Circuit c(2);
+  c.add(qc::x(0)).add(qc::y(0)).add(qc::z(1)).add(qc::s(0)).add(qc::sdg(1));
+  c.add(qc::t(0)).add(qc::tdg(1)).add(qc::rx(0, 0.5)).add(qc::ry(1, -0.25));
+  c.add(qc::rz(0, 1.5)).add(qc::phase(1, 0.75)).add(qc::cz(0, 1)).add(qc::cx(1, 0));
+  c.add(qc::cphase(0, 1, 0.3)).add(qc::zz(0, 1, 0.7));
+  EXPECT_NO_THROW(qc::to_qasm(c));
+}
+
+TEST(QasmExport, RejectsCustomMatrices) {
+  qc::Circuit c(1);
+  c.add(qc::u1q(0, la::Matrix::identity(2)));
+  EXPECT_THROW(qc::to_qasm(c), LinalgError);
+}
+
+// --- QASM import --------------------------------------------------------------
+
+TEST(QasmImport, RoundTripPreservesUnitary) {
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> angle(-3.0, 3.0);
+  qc::Circuit c(3);
+  c.add(qc::h(0)).add(qc::rx(1, angle(rng))).add(qc::cz(0, 2)).add(qc::rz(2, angle(rng)));
+  c.add(qc::cx(1, 2)).add(qc::t(0)).add(qc::cphase(0, 1, angle(rng)));
+  c.add(qc::zz(1, 2, angle(rng))).add(qc::sdg(2));
+
+  const qc::Circuit back = qc::from_qasm(qc::to_qasm(c));
+  EXPECT_TRUE(qc::circuit_unitary(back).approx_equal(qc::circuit_unitary(c), 1e-10));
+}
+
+TEST(QasmImport, ParsesPiExpressions) {
+  const std::string text = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+rx(pi/2) q[0];
+rz(-pi/4) q[0];
+ry(2*pi/3) q[0];
+u1(0.5 + pi) q[0];
+)";
+  const qc::Circuit c = qc::from_qasm(text);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_NEAR(c.gates()[0].params[0], std::numbers::pi / 2, 1e-15);
+  EXPECT_NEAR(c.gates()[1].params[0], -std::numbers::pi / 4, 1e-15);
+  EXPECT_NEAR(c.gates()[2].params[0], 2 * std::numbers::pi / 3, 1e-15);
+  EXPECT_NEAR(c.gates()[3].params[0], 0.5 + std::numbers::pi, 1e-15);
+}
+
+TEST(QasmImport, CrzMatchesControlledRz) {
+  const std::string text = R"(OPENQASM 2.0;
+qreg q[2];
+crz(0.8) q[0],q[1];
+)";
+  const qc::Circuit c = qc::from_qasm(text);
+  // Build the expected controlled-rz directly.
+  const la::Matrix rzm = qc::rz(0, 0.8).matrix();
+  const la::Matrix want = qc::cu(0, 1, rzm).matrix();
+  EXPECT_TRUE(qc::circuit_unitary(c).approx_equal(want, 1e-12));
+}
+
+TEST(QasmImport, SwapDecomposition) {
+  const std::string text = "OPENQASM 2.0;\nqreg q[2];\nswap q[0],q[1];\n";
+  const qc::Circuit c = qc::from_qasm(text);
+  la::Matrix want(4, 4);
+  want(0, 0) = want(3, 3) = 1;
+  want(1, 2) = want(2, 1) = 1;
+  EXPECT_TRUE(qc::circuit_unitary(c).approx_equal(want, 1e-12));
+}
+
+TEST(QasmImport, IgnoresCommentsAndBarriers) {
+  const std::string text = R"(OPENQASM 2.0;
+// a comment line
+qreg q[2];
+h q[0]; // trailing comment
+barrier q[0],q[1];
+cx q[0],q[1];
+)";
+  const qc::Circuit c = qc::from_qasm(text);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(QasmImport, RejectsMeasurement) {
+  const std::string text = "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\n";
+  EXPECT_THROW(qc::from_qasm(text), LinalgError);
+}
+
+TEST(QasmImport, RejectsUnknownGate) {
+  const std::string text = "OPENQASM 2.0;\nqreg q[1];\nfoo q[0];\n";
+  EXPECT_THROW(qc::from_qasm(text), LinalgError);
+}
+
+TEST(QasmImport, GeneratedBenchmarkSurvivesRoundTrip) {
+  // hf_vqe uses Givens gates (not spellable); QAOA circuits round-trip.
+  const qc::Circuit c = bench::qaoa_grid(2, 3, 1, 5);
+  const qc::Circuit back = qc::from_qasm(qc::to_qasm(c));
+  ASSERT_EQ(back.num_qubits(), c.num_qubits());
+  sim::Statevector a(c.num_qubits()), b(c.num_qubits());
+  a.apply_circuit(c);
+  b.apply_circuit(back);
+  EXPECT_TRUE(approx_equal(a.inner(b), cplx{1.0, 0.0}, 1e-10));
+}
+
+// --- Pauli observables -----------------------------------------------------------
+
+TEST(PauliString, ParseAndWeight) {
+  const auto p = core::PauliString::parse("IXYZ");
+  EXPECT_EQ(p.num_qubits(), 4u);
+  EXPECT_EQ(p.weight(), 3u);
+  EXPECT_THROW(core::PauliString::parse("IXQ"), LinalgError);
+  EXPECT_THROW(core::PauliString::parse(""), LinalgError);
+}
+
+la::Matrix pauli_matrix(const std::string& ops) {
+  la::Matrix m = la::Matrix::identity(1);
+  const la::Matrix table[4] = {la::Matrix::identity(2), qc::x(0).matrix(), qc::y(0).matrix(),
+                               qc::z(0).matrix()};
+  for (char c : ops) {
+    int idx = c == 'I' ? 0 : c == 'X' ? 1 : c == 'Y' ? 2 : 3;
+    m = la::kron(m, table[idx]);
+  }
+  return m;
+}
+
+class PauliObservables : public ::testing::TestWithParam<int> {};
+
+TEST_P(PauliObservables, MatchesDensityMatrixTrace) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<double> angle(-2.0, 2.0);
+  qc::Circuit c(3);
+  c.add(qc::h(0)).add(qc::ry(1, angle(rng))).add(qc::cz(0, 1)).add(qc::rx(2, angle(rng)));
+  c.add(qc::cx(1, 2));
+  ch::NoisyCircuit nc(3);
+  for (std::size_t i = 0; i < c.gates().size(); ++i) {
+    nc.add_gate(c.gates()[i]);
+    if (i == 2) nc.add_noise(1, ch::depolarizing(0.1));
+  }
+
+  sim::DensityMatrix dm(3);
+  dm.evolve(nc);
+
+  for (const std::string& ops : {"ZII", "IZI", "XXI", "IYZ", "XYZ", "III"}) {
+    const la::Matrix p = pauli_matrix(ops);
+    const double want = (p * dm.to_matrix()).trace().real();
+    const double got = core::expectation_pauli(nc, 0, core::PauliString::parse(ops));
+    EXPECT_NEAR(got, want, 1e-9) << ops;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PauliObservables, ::testing::Range(0, 6));
+
+TEST(PauliObservables, IdentityStringIsTrace) {
+  ch::NoisyCircuit nc(2);
+  nc.add_gate(qc::h(0));
+  nc.add_noise(0, ch::amplitude_damping(0.3));
+  EXPECT_NEAR(core::expectation_pauli(nc, 0, core::PauliString::parse("II")), 1.0, 1e-10);
+}
+
+TEST(PauliObservables, DepolarizingShrinksBlochZ) {
+  // <Z> of |0> after depolarizing(p) is 1 - 4p/3.
+  ch::NoisyCircuit nc(1);
+  nc.add_noise(0, ch::depolarizing(0.3));
+  EXPECT_NEAR(core::expectation_pauli(nc, 0, core::PauliString::parse("Z")), 1.0 - 0.4, 1e-10);
+}
+
+TEST(PauliObservables, WidthMismatchThrows) {
+  ch::NoisyCircuit nc(2);
+  nc.add_gate(qc::h(0));
+  EXPECT_THROW(core::expectation_pauli(nc, 0, core::PauliString::parse("Z")), LinalgError);
+}
+
+}  // namespace
+}  // namespace noisim

@@ -1,0 +1,220 @@
+// Tests for the state-vector, density-matrix and trajectories simulators.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "channels/catalog.hpp"
+#include "linalg/qr.hpp"
+#include "sim/density.hpp"
+#include "sim/statevector.hpp"
+#include "sim/trajectories.hpp"
+
+namespace noisim::sim {
+namespace {
+
+qc::Circuit random_circuit(int n, int gates, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> q(0, n - 1);
+  std::uniform_int_distribution<int> kind(0, 5);
+  std::uniform_real_distribution<double> angle(-3.0, 3.0);
+  qc::Circuit c(n);
+  for (int i = 0; i < gates; ++i) {
+    switch (kind(rng)) {
+      case 0: c.add(qc::h(q(rng))); break;
+      case 1: c.add(qc::t(q(rng))); break;
+      case 2: c.add(qc::rx(q(rng), angle(rng))); break;
+      case 3: c.add(qc::rz(q(rng), angle(rng))); break;
+      default: {
+        int a = q(rng), b = q(rng);
+        if (a == b) b = (a + 1) % n;
+        c.add(qc::cz(a, b));
+      }
+    }
+  }
+  return c;
+}
+
+TEST(Statevector, InitialState) {
+  Statevector sv(3);
+  EXPECT_TRUE(approx_equal(sv.amplitude(0), cplx{1, 0}));
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, BasisState) {
+  const Statevector sv = Statevector::basis(3, 0b101);
+  EXPECT_TRUE(approx_equal(sv.amplitude(0b101), cplx{1, 0}));
+  EXPECT_TRUE(approx_equal(sv.amplitude(0), cplx{0, 0}));
+}
+
+TEST(Statevector, XOnQubitZeroFlipsHighBit) {
+  Statevector sv(2);
+  sv.apply_gate(qc::x(0));
+  EXPECT_TRUE(approx_equal(sv.amplitude(0b10), cplx{1, 0}));
+}
+
+TEST(Statevector, BellPairAmplitudes) {
+  Statevector sv(2);
+  sv.apply_gate(qc::h(0));
+  sv.apply_gate(qc::cx(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitude(0b00)), 1 / std::numbers::sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), 1 / std::numbers::sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01)), 0.0, 1e-12);
+}
+
+class SvVsDenseUnitary : public ::testing::TestWithParam<int> {};
+
+TEST_P(SvVsDenseUnitary, MatchesCircuitUnitaryColumn) {
+  const int n = 4;
+  const qc::Circuit c = random_circuit(n, 20, static_cast<std::uint64_t>(GetParam()));
+  const la::Matrix u = qc::circuit_unitary(c);
+  Statevector sv = Statevector::basis(n, 5);
+  sv.apply_circuit(c);
+  for (std::size_t row = 0; row < (1u << n); ++row)
+    EXPECT_TRUE(approx_equal(sv.amplitude(row), u(row, 5), 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvVsDenseUnitary, ::testing::Range(0, 10));
+
+TEST(Statevector, Expectation1MatchesDirect) {
+  std::mt19937_64 rng(3);
+  Statevector sv(3);
+  sv.apply_circuit(random_circuit(3, 15, 99));
+  const la::Matrix m = la::random_ginibre(2, 2, rng);
+  // Compare against applying the operator and taking the inner product.
+  Statevector applied = sv;
+  applied.apply_matrix1(m, 1);
+  EXPECT_TRUE(approx_equal(sv.expectation1(m, 1), sv.inner(applied), 1e-10));
+}
+
+TEST(Statevector, NonUnitaryApplication) {
+  Statevector sv(1);
+  sv.apply_gate(qc::h(0));
+  const la::Matrix proj{{1, 0}, {0, 0}};  // |0><0|
+  sv.apply_matrix1(proj, 0);
+  EXPECT_NEAR(sv.norm2(), 0.5, 1e-12);
+}
+
+TEST(Statevector, QubitCountGuard) {
+  EXPECT_THROW(Statevector(0), LinalgError);
+  EXPECT_THROW(Statevector(27), LinalgError);
+}
+
+// --- density matrix ----------------------------------------------------------
+
+TEST(DensityMatrix, PureStateEvolutionMatchesStatevector) {
+  for (int seed = 0; seed < 6; ++seed) {
+    const int n = 3;
+    const qc::Circuit c = random_circuit(n, 18, static_cast<std::uint64_t>(seed) + 50);
+    Statevector sv(n);
+    sv.apply_circuit(c);
+    DensityMatrix dm(n);
+    dm.evolve(ch::NoisyCircuit(c));
+    for (std::size_t r = 0; r < (1u << n); ++r)
+      for (std::size_t cc = 0; cc < (1u << n); ++cc)
+        EXPECT_TRUE(approx_equal(dm.element(r, cc),
+                                 sv.amplitude(r) * std::conj(sv.amplitude(cc)), 1e-10));
+  }
+}
+
+TEST(DensityMatrix, ChannelApplicationMatchesDenseKraus) {
+  // Apply a channel on qubit 1 of 2 and compare against the dense formula
+  // with lifted Kraus operators.
+  const ch::Channel noise = ch::amplitude_damping(0.3);
+  qc::Circuit prep(2);
+  prep.add(qc::h(0)).add(qc::cx(0, 1));
+  DensityMatrix dm(2);
+  dm.evolve(ch::NoisyCircuit(prep));
+  la::Matrix rho = dm.to_matrix();
+  dm.apply_channel(noise, 1);
+
+  la::Matrix want(4, 4);
+  for (const la::Matrix& k : noise.kraus()) {
+    const la::Matrix lifted = la::kron(la::Matrix::identity(2), k);
+    want += lifted * rho * lifted.adjoint();
+  }
+  EXPECT_TRUE(dm.to_matrix().approx_equal(want, 1e-10));
+}
+
+TEST(DensityMatrix, TraceIsPreservedThroughNoisyCircuit) {
+  qc::Circuit c(3);
+  c.add(qc::h(0)).add(qc::cx(0, 1)).add(qc::rx(2, 0.7));
+  ch::NoisyCircuit nc(c);
+  nc.add_noise(0, ch::depolarizing(0.1));
+  nc.add_noise(2, ch::thermal_relaxation(0.05, 1.0, 1.5));
+  DensityMatrix dm(3);
+  dm.evolve(nc);
+  EXPECT_NEAR(dm.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, FidelityAgainstVector) {
+  qc::Circuit c(2);
+  c.add(qc::h(0));
+  DensityMatrix dm(2);
+  dm.evolve(ch::NoisyCircuit(c));
+  la::Vector v(4);
+  v[0] = cplx{1 / std::numbers::sqrt2, 0};
+  v[2] = cplx{1 / std::numbers::sqrt2, 0};
+  EXPECT_NEAR(dm.fidelity(v), 1.0, 1e-10);
+  EXPECT_NEAR(dm.fidelity_basis(0), 0.5, 1e-10);
+}
+
+TEST(DensityMatrix, DepolarizingDrivesTowardsMixed) {
+  ch::NoisyCircuit nc(1);
+  for (int i = 0; i < 50; ++i) nc.add_noise(0, ch::depolarizing(0.2));
+  DensityMatrix dm(1);
+  dm.evolve(nc);
+  EXPECT_NEAR(dm.fidelity_basis(0), 0.5, 1e-6);
+}
+
+// --- trajectories ------------------------------------------------------------
+
+TEST(Trajectories, NoiselessCircuitIsDeterministic) {
+  qc::Circuit c(2);
+  c.add(qc::h(0)).add(qc::cx(0, 1));
+  std::mt19937_64 rng(1);
+  const TrajectoryResult r = trajectories_sv(ch::NoisyCircuit(c), 0, 0b11, 50, rng);
+  EXPECT_NEAR(r.mean, 0.5, 1e-12);
+  // Zero variance up to catastrophic-cancellation roundoff in the estimator.
+  EXPECT_NEAR(r.std_error, 0.0, 1e-6);
+}
+
+class TrajectoriesConverge : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrajectoriesConverge, AgreesWithDensityMatrixWithinError) {
+  const int n = 3;
+  const qc::Circuit c = random_circuit(n, 12, static_cast<std::uint64_t>(GetParam()) + 7);
+  ch::NoisyCircuit nc(c);
+  nc.add_noise(0, ch::depolarizing(0.15));
+  nc.add_noise(2, ch::amplitude_damping(0.2));
+  nc.add_noise(1, ch::thermal_relaxation(0.02, 0.5, 0.8));
+
+  const double exact = exact_fidelity_mm(nc, 0, 0);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 1);
+  const TrajectoryResult r = trajectories_sv(nc, 0, 0, 4000, rng);
+  // 5 sigma (plus epsilon for the zero-variance corner case).
+  EXPECT_NEAR(r.mean, exact, 5.0 * r.std_error + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrajectoriesConverge, ::testing::Range(0, 5));
+
+TEST(Trajectories, HoeffdingSampleCount) {
+  // r = ln(2/0.01) / (2 * 0.01^2) ~ 26492.
+  EXPECT_EQ(hoeffding_samples(0.01, 0.01), 26492u);
+  EXPECT_THROW(hoeffding_samples(0.0, 0.5), LinalgError);
+}
+
+TEST(Trajectories, SingleSampleOfUnitaryMixtureIsValidFidelity) {
+  qc::Circuit c(2);
+  c.add(qc::h(0));
+  ch::NoisyCircuit nc(c);
+  nc.add_noise(0, ch::depolarizing(0.5));
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const double f = sample_trajectory_sv(nc, 0, 0, rng);
+    EXPECT_GE(f, -1e-12);
+    EXPECT_LE(f, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace noisim::sim

@@ -1,0 +1,195 @@
+// Unit tests for dense tensors and pairwise contraction.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/qr.hpp"
+#include "tensor/contract.hpp"
+#include "tensor/tensor.hpp"
+
+namespace noisim::tsr {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::mt19937_64& rng) {
+  Tensor t(std::move(shape));
+  std::normal_distribution<double> gauss;
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = cplx{gauss(rng), gauss(rng)};
+  return t;
+}
+
+TEST(Tensor, ScalarRoundTrip) {
+  const Tensor s = Tensor::scalar(cplx{2.5, -1.0});
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(approx_equal(s.to_scalar(), cplx{2.5, -1.0}));
+}
+
+TEST(Tensor, FromMatrixPreservesLayout) {
+  la::Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Tensor t = Tensor::from_matrix(m);
+  EXPECT_EQ(t.shape(), (std::vector<std::size_t>{2, 3}));
+  EXPECT_TRUE(approx_equal(t.at({1, 2}), cplx{6, 0}));
+  EXPECT_TRUE(t.to_matrix().approx_equal(m));
+}
+
+TEST(Tensor, MultiIndexIsRowMajor) {
+  Tensor t({2, 3, 4});
+  t.at({1, 2, 3}) = cplx{9, 0};
+  EXPECT_TRUE(approx_equal(t[1 * 12 + 2 * 4 + 3], cplx{9, 0}));
+}
+
+TEST(Tensor, PermuteTransposesMatrix) {
+  la::Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Tensor t = Tensor::from_matrix(m).permute({1, 0});
+  EXPECT_TRUE(t.to_matrix().approx_equal(m.transpose()));
+}
+
+TEST(Tensor, PermuteIsInverseOfInversePermutation) {
+  std::mt19937_64 rng(1);
+  const Tensor t = random_tensor({2, 3, 4, 5}, rng);
+  const Tensor p = t.permute({2, 0, 3, 1});
+  // inverse of (2,0,3,1) is (1,3,0,2)
+  EXPECT_TRUE(p.permute({1, 3, 0, 2}).approx_equal(t));
+}
+
+TEST(Tensor, PermuteValidatesInput) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.permute({0, 0}), LinalgError);
+  EXPECT_THROW(t.permute({0}), LinalgError);
+  EXPECT_THROW(t.permute({0, 2}), LinalgError);
+}
+
+TEST(Tensor, ReshapeKeepsData) {
+  std::mt19937_64 rng(2);
+  const Tensor t = random_tensor({4, 6}, rng);
+  const Tensor r = t.reshape({2, 2, 6});
+  EXPECT_EQ(r.rank(), 3u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_TRUE(approx_equal(t[i], r[i]));
+  EXPECT_THROW(t.reshape({5, 5}), LinalgError);
+}
+
+TEST(Tensor, ConjNegatesImaginaryParts) {
+  Tensor t({2});
+  t[0] = cplx{1, 2};
+  t[1] = cplx{-3, -4};
+  const Tensor c = t.conj();
+  EXPECT_TRUE(approx_equal(c[0], cplx{1, -2}));
+  EXPECT_TRUE(approx_equal(c[1], cplx{-3, 4}));
+}
+
+TEST(Tensor, TraceAxesEqualsMatrixTrace) {
+  std::mt19937_64 rng(3);
+  const Tensor t = random_tensor({3, 3}, rng);
+  const Tensor tr = trace_axes(t, 0, 1);
+  EXPECT_EQ(tr.rank(), 0u);
+  EXPECT_TRUE(approx_equal(tr.to_scalar(), t.to_matrix().trace(), 1e-10));
+}
+
+TEST(Tensor, TraceAxesPartial) {
+  std::mt19937_64 rng(4);
+  const Tensor t = random_tensor({2, 3, 2}, rng);
+  const Tensor tr = trace_axes(t, 0, 2);
+  ASSERT_EQ(tr.shape(), (std::vector<std::size_t>{3}));
+  for (std::size_t j = 0; j < 3; ++j) {
+    cplx want = t.at({0, j, 0}) + t.at({1, j, 1});
+    EXPECT_TRUE(approx_equal(tr[j], want, 1e-10));
+  }
+}
+
+TEST(Tensor, OuterProductShapeAndValues) {
+  Tensor a({2});
+  a[0] = cplx{1, 0};
+  a[1] = cplx{2, 0};
+  Tensor b({3});
+  b[0] = cplx{1, 0};
+  b[1] = cplx{0, 1};
+  b[2] = cplx{-1, 0};
+  const Tensor o = outer(a, b);
+  ASSERT_EQ(o.shape(), (std::vector<std::size_t>{2, 3}));
+  EXPECT_TRUE(approx_equal(o.at({1, 1}), cplx{0, 2}));
+}
+
+// --- contraction -------------------------------------------------------------
+
+TEST(Contract, MatrixProductEquivalence) {
+  std::mt19937_64 rng(5);
+  const la::Matrix a = la::random_ginibre(3, 4, rng);
+  const la::Matrix b = la::random_ginibre(4, 5, rng);
+  const Tensor c = contract(Tensor::from_matrix(a), {1}, Tensor::from_matrix(b), {0});
+  EXPECT_TRUE(c.to_matrix().approx_equal(a * b, 1e-10));
+}
+
+TEST(Contract, InnerProductFullContraction) {
+  std::mt19937_64 rng(6);
+  const Tensor a = random_tensor({2, 3}, rng);
+  const Tensor b = random_tensor({2, 3}, rng);
+  const Tensor s = contract(a, {0, 1}, b, {0, 1});
+  cplx want{0, 0};
+  for (std::size_t i = 0; i < a.size(); ++i) want += a[i] * b[i];
+  EXPECT_TRUE(approx_equal(s.to_scalar(), want, 1e-10));
+}
+
+TEST(Contract, MultiAxisAgainstManualSum) {
+  std::mt19937_64 rng(7);
+  const Tensor a = random_tensor({2, 3, 4}, rng);
+  const Tensor b = random_tensor({4, 2, 5}, rng);
+  // Contract a's axes (0, 2) with b's axes (1, 0): result [3, 5].
+  const Tensor c = contract(a, {0, 2}, b, {1, 0});
+  ASSERT_EQ(c.shape(), (std::vector<std::size_t>{3, 5}));
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t m = 0; m < 5; ++m) {
+      cplx want{0, 0};
+      for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t k = 0; k < 4; ++k) want += a.at({i, j, k}) * b.at({k, i, m});
+      EXPECT_TRUE(approx_equal(c.at({j, m}), want, 1e-10));
+    }
+}
+
+TEST(Contract, ZeroAxesIsOuterProduct) {
+  std::mt19937_64 rng(8);
+  const Tensor a = random_tensor({2, 2}, rng);
+  const Tensor b = random_tensor({3}, rng);
+  const Tensor c = contract(a, {}, b, {});
+  EXPECT_TRUE(c.approx_equal(outer(a, b), 1e-10));
+}
+
+TEST(Contract, ResultSizePredicts) {
+  std::mt19937_64 rng(9);
+  const Tensor a = random_tensor({2, 3, 4}, rng);
+  const Tensor b = random_tensor({4, 5}, rng);
+  std::vector<std::size_t> axes_a{2}, axes_b{0};
+  EXPECT_EQ(contract_result_size(a, axes_a, b, axes_b), 2u * 3u * 5u);
+  EXPECT_EQ(contract(a, axes_a, b, axes_b).size(), 2u * 3u * 5u);
+}
+
+TEST(Contract, DimensionMismatchThrows) {
+  Tensor a({2, 3}), b({4, 2});
+  EXPECT_THROW(contract(a, {1}, b, {0}), LinalgError);
+  EXPECT_THROW(contract(a, {0}, b, {0, 1}), LinalgError);
+  EXPECT_THROW(contract(a, {0, 0}, b, {0, 1}), LinalgError);
+}
+
+// Property: contraction is bilinear (checked over random seeds).
+class ContractBilinear : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContractBilinear, LinearInFirstArgument) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const Tensor a1 = random_tensor({3, 4}, rng);
+  const Tensor a2 = random_tensor({3, 4}, rng);
+  const Tensor b = random_tensor({4, 2}, rng);
+  const cplx alpha{1.5, -0.5};
+  Tensor lhs_in = a1;
+  lhs_in += a2;
+  Tensor scaled = lhs_in;
+  scaled *= alpha;
+  const Tensor lhs = contract(scaled, {1}, b, {0});
+  Tensor rhs = contract(a1, {1}, b, {0});
+  rhs += contract(a2, {1}, b, {0});
+  rhs *= alpha;
+  EXPECT_TRUE(lhs.approx_equal(rhs, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContractBilinear, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace noisim::tsr
