@@ -1,0 +1,107 @@
+// Parallel trajectory engine: wall-clock scaling of trajectories_sv on the
+// Fig. 5 workload (hardware-grid QAOA with sparse depolarizing noise, the
+// regime where the paper compares its approximation against trajectory
+// sampling).
+//
+// Runs the same (seed-fixed) estimate serially and at several thread
+// counts, checks the results are bit-identical (the engine's
+// reproducibility contract), and writes machine-readable results to
+// BENCH_traj_parallel.json (or argv[1]).
+
+#include <chrono>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "sim/trajectories.hpp"
+
+namespace {
+
+using namespace noisim;
+using Clock = std::chrono::steady_clock;
+
+double time_seconds(const std::function<void()>& fn) {
+  const auto start = Clock::now();
+  fn();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("Parallel trajectories: thread scaling on the Fig. 5 workload",
+                      "paper Fig. 5 baseline");
+
+  const int grid = bench::large_mode() ? 5 : 4;
+  const std::size_t noises = 12;
+  const double p = 0.001;
+  const std::size_t samples = bench::large_mode() ? 2000 : 400;
+  const std::uint64_t seed = 2024;
+
+  const qc::Circuit c = bench::qaoa_grid(grid, grid, 1, 7);
+  const ch::NoisyCircuit nc = bench::insert_noises(c, noises, bench::depolarizing_noise(p), 11);
+
+  // Serial baseline: the original single-stream estimator.
+  std::mt19937_64 rng(seed);
+  sim::TrajectoryResult serial_result;
+  const double serial_seconds =
+      time_seconds([&] { serial_result = sim::trajectories_sv(nc, 0, 0, samples, rng); });
+
+  const std::size_t hw = sim::resolve_threads(0);
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+
+  bench::Table table({"threads", "seconds", "speedup vs serial", "mean", "std_error"});
+  table.add_row({"serial", bench::fixed(serial_seconds, 3), "1.00",
+                 bench::sci(serial_result.mean), bench::sci(serial_result.std_error)});
+
+  struct Row {
+    std::size_t threads;
+    double seconds;
+    sim::TrajectoryResult result;
+  };
+  std::vector<Row> rows;
+  bool deterministic = true;
+  for (const std::size_t t : thread_counts) {
+    sim::ParallelOptions opts;
+    opts.threads = t;
+    Row row;
+    row.threads = t;
+    row.seconds =
+        time_seconds([&] { row.result = sim::trajectories_sv(nc, 0, 0, samples, seed, opts); });
+    if (!rows.empty() &&
+        (row.result.mean != rows.front().result.mean ||
+         row.result.std_error != rows.front().result.std_error))
+      deterministic = false;
+    table.add_row({std::to_string(t), bench::fixed(row.seconds, 3),
+                   bench::fixed(serial_seconds / row.seconds, 2), bench::sci(row.result.mean),
+                   bench::sci(row.result.std_error)});
+    rows.push_back(row);
+  }
+  table.print(std::cout);
+  std::cout << "hardware threads: " << hw << "\n"
+            << "deterministic across thread counts: " << (deterministic ? "yes" : "NO") << "\n";
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_traj_parallel.json";
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"traj_parallel\",\n"
+      << "  \"workload\": \"qaoa_grid(" << grid << "x" << grid << ", 1 round) + " << noises
+      << " depolarizing(p=" << p << ") noises (Fig. 5 regime)\",\n"
+      << "  \"qubits\": " << nc.num_qubits() << ",\n"
+      << "  \"samples\": " << samples << ",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"hardware_threads\": " << hw << ",\n"
+      << "  \"deterministic_across_threads\": " << (deterministic ? "true" : "false") << ",\n"
+      << "  \"serial_seconds\": " << serial_seconds << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+        << ", \"speedup_vs_serial\": " << serial_seconds / r.seconds
+        << ", \"mean\": " << r.result.mean << ", \"std_error\": " << r.result.std_error << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return deterministic ? 0 : 1;
+}

@@ -1,9 +1,11 @@
 #include "circuit/qasm.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <numbers>
 #include <sstream>
+#include <string>
 
 namespace noisim::qc {
 
@@ -76,6 +78,11 @@ struct Parser {
         ++pos;
       } else if (text.compare(pos, 2, "//") == 0) {
         while (!eof() && text[pos] != '\n') ++pos;
+      } else if (text.compare(pos, 2, "/*") == 0) {
+        pos += 2;
+        while (!eof() && text.compare(pos, 2, "*/") != 0) ++pos;
+        la::detail::require(!eof(), "qasm: unterminated block comment");
+        pos += 2;
       } else {
         break;
       }
@@ -140,14 +147,18 @@ struct Parser {
       return v;
     }
     if (try_consume('-')) return -parse_atom();
+    if (try_consume('+')) return parse_atom();  // stod accepted a leading '+'; keep that
     if (text.compare(pos, 2, "pi") == 0) {
       pos += 2;
       return kPi;
     }
-    std::size_t consumed = 0;
-    const double v = std::stod(text.substr(pos), &consumed);
-    la::detail::require(consumed > 0, "qasm: expected number");
-    pos += consumed;
+    // In-place parse (no substr copy, no std::stod exceptions escaping the
+    // parser's LinalgError category).
+    double v = 0.0;
+    const auto [ptr, ec] = std::from_chars(text.data() + pos, text.data() + text.size(), v);
+    if (ec != std::errc())
+      la::detail::fail("qasm: expected number at position " + std::to_string(pos));
+    pos = static_cast<std::size_t>(ptr - text.data());
     return v;
   }
 
@@ -157,9 +168,29 @@ struct Parser {
     expect('[', "qasm: expected '['");
     const double idx = parse_atom();
     expect(']', "qasm: expected ']'");
+    // parse_atom accepts arbitrary reals; only exact machine-int values are
+    // valid indices (fractions would silently truncate, huge values are UB
+    // in the cast).
+    la::detail::require(idx >= 0.0 && idx <= 2147483647.0 && idx == std::floor(idx),
+                        "qasm: qubit index must be a non-negative integer");
     return static_cast<int>(idx);
   }
 };
+
+/// qelib1's generic single-qubit gate U(theta, phi, lambda).
+la::Matrix u3_matrix(double theta, double phi, double lambda) {
+  // cos/sin of theta/2 may be negative, so build e^{i*arg} explicitly
+  // (std::polar requires a non-negative magnitude).
+  const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+  const cplx eil{std::cos(lambda), std::sin(lambda)};
+  const cplx eip{std::cos(phi), std::sin(phi)};
+  la::Matrix m(2, 2);
+  m(0, 0) = cplx{c, 0.0};
+  m(0, 1) = -s * eil;
+  m(1, 0) = s * eip;
+  m(1, 1) = c * eip * eil;
+  return m;
+}
 
 }  // namespace
 
@@ -181,7 +212,10 @@ Circuit from_qasm(const std::string& text) {
   la::detail::require(p.ident() == "qreg", "qasm: expected qreg");
   const std::string reg = p.ident();
   p.expect('[', "qasm: expected '[' in qreg");
-  const int n = static_cast<int>(p.parse_atom());
+  const double width = p.parse_atom();
+  la::detail::require(width >= 0.0 && width <= 2147483647.0 && width == std::floor(width),
+                      "qasm: qreg size must be a non-negative integer");
+  const int n = static_cast<int>(width);
   p.expect(']', "qasm: expected ']' in qreg");
   p.expect(';', "qasm: expected ';' after qreg");
 
@@ -238,6 +272,14 @@ Circuit from_qasm(const std::string& text) {
       c.add(rz(qs[1], -params[0] / 2));
       c.add(cx(qs[0], qs[1]));
       c.add(rz(qs[1], params[0] / 2));
+    }
+    else if (op == "u3" || op == "u" || op == "U") {
+      need(1, 3);
+      c.add(u1q(qs[0], u3_matrix(params[0], params[1], params[2])));
+    }
+    else if (op == "u2") {
+      need(1, 2);
+      c.add(u1q(qs[0], u3_matrix(kPi / 2, params[0], params[1])));
     }
     else if (op == "rzz") { need(2, 1); c.add(zz(qs[0], qs[1], params[0])); }
     else if (op == "swap") {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <future>
+#include <mutex>
 #include <thread>
 
 #include "circuit/simplify.hpp"
@@ -153,8 +154,11 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
 
   // Evaluate one term: the chosen sites carry the given subdominant term
   // indices; every other site carries the dominant term 0. Thread-safe:
-  // works on its own copies of the skeleton.
+  // works on its own copies of the skeleton; the shared `done` counter is
+  // atomic and the (possibly user-supplied, not necessarily thread-safe)
+  // progress callback is serialized behind a mutex.
   std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
   auto eval_term = [&](const Term& term, std::vector<qc::Gate>& top,
                        std::vector<qc::Gate>& bottom) {
     for (std::size_t s = 0; s < num_sites; ++s) {
@@ -168,11 +172,21 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
     }
     const cplx top_amp = amplitude(n, top, psi_bits, v_bits, /*conjugate=*/false, eval);
     const cplx bot_amp = amplitude(n, bottom, psi_bits, v_bits, /*conjugate=*/true, eval);
-    const std::size_t now = ++done;
-    if (opts.progress) opts.progress(now);
+    if (opts.progress) {
+      // Increment inside the lock so callback values are monotonic.
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      opts.progress(++done);
+    } else {
+      ++done;
+    }
     return top_amp * bot_amp;
   };
 
+  // Deterministic static partition: worker w owns a contiguous, balanced
+  // index range (sizes differ by at most one, so no worker sits idle), and
+  // the term-to-worker assignment is a pure function of (terms, threads).
+  // No two workers share an output slot, and the reduction below runs on
+  // the joined values in enumeration order either way.
   std::vector<cplx> values(terms.size());
   const std::size_t threads =
       std::max<std::size_t>(1, std::min<std::size_t>(opts.threads, terms.size()));
@@ -180,17 +194,17 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
     std::vector<qc::Gate> top = skeleton, bottom = skeleton;
     for (std::size_t i = 0; i < terms.size(); ++i) values[i] = eval_term(terms[i], top, bottom);
   } else {
+    const std::size_t base_size = terms.size() / threads;
+    const std::size_t remainder = terms.size() % threads;
     std::vector<std::future<void>> workers;
-    std::atomic<std::size_t> next{0};
+    std::size_t begin = 0;
     for (std::size_t w = 0; w < threads; ++w) {
-      workers.push_back(std::async(std::launch::async, [&] {
+      const std::size_t end = begin + base_size + (w < remainder ? 1 : 0);
+      workers.push_back(std::async(std::launch::async, [&, begin, end] {
         std::vector<qc::Gate> top = skeleton, bottom = skeleton;
-        while (true) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= terms.size()) break;
-          values[i] = eval_term(terms[i], top, bottom);
-        }
+        for (std::size_t i = begin; i < end; ++i) values[i] = eval_term(terms[i], top, bottom);
       }));
+      begin = end;
     }
     for (auto& f : workers) f.get();  // rethrows worker exceptions
   }

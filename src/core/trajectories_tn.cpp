@@ -1,45 +1,81 @@
 #include "core/trajectories_tn.hpp"
 
 #include <cmath>
+#include <memory>
 
 namespace noisim::core {
 
-sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
-                                      std::uint64_t v_bits, std::size_t samples,
-                                      std::mt19937_64& rng, const EvalOptions& eval) {
-  la::detail::require(samples > 0, "trajectories_tn: need at least one sample");
-  const int n = nc.num_qubits();
+namespace {
 
-  // Skeleton gate list with one placeholder per noise site + its mixture.
+// Skeleton gate list with one identity placeholder per noise site, plus the
+// per-site unitary mixtures. Built once per estimate and shared read-only by
+// all workers (each worker samples into its own copy of `gates`).
+struct TnSkeleton {
   std::vector<qc::Gate> gates;
   std::vector<std::size_t> site_gate_index;
   std::vector<ch::UnitaryMixture> mixtures;
-  std::vector<std::discrete_distribution<std::size_t>> samplers;
+};
+
+TnSkeleton build_skeleton(const ch::NoisyCircuit& nc) {
+  TnSkeleton sk;
   for (const ch::Op& op : nc.ops()) {
     if (const qc::Gate* g = std::get_if<qc::Gate>(&op)) {
-      gates.push_back(*g);
+      sk.gates.push_back(*g);
       continue;
     }
     const ch::NoiseOp& noise = std::get<ch::NoiseOp>(op);
     auto mix = noise.channel.unitary_mixture();
     la::detail::require(mix.has_value(),
                         "trajectories_tn: channel is not a mixture of unitaries");
-    site_gate_index.push_back(gates.size());
+    sk.site_gate_index.push_back(sk.gates.size());
     if (noise.num_qubits() == 1)
-      gates.push_back(qc::u1q(noise.qubit, la::Matrix::identity(2)));
+      sk.gates.push_back(qc::u1q(noise.qubit, la::Matrix::identity(2)));
     else
-      gates.push_back(qc::u2q(noise.qubit, noise.qubit2, la::Matrix::identity(4)));
-    samplers.emplace_back(mix->probs.begin(), mix->probs.end());
-    mixtures.push_back(std::move(*mix));
+      sk.gates.push_back(qc::u2q(noise.qubit, noise.qubit2, la::Matrix::identity(4)));
+    sk.mixtures.push_back(std::move(*mix));
   }
+  return sk;
+}
 
+// Inverse-CDF draw from a (normalized) probability vector. Unlike
+// std::discrete_distribution, this carries no state across calls, so the
+// engine's per-chunk RNG reseeding fully determines every draw.
+std::size_t sample_index(const std::vector<double>& probs, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  const double u = unif(rng);
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < probs.size(); ++k) {
+    cumulative += probs[k];
+    if (u < cumulative) return k;
+  }
+  return probs.size() - 1;  // rounding fall-through
+}
+
+// One trajectory: sample a unitary per site into `gates` (a worker-private
+// copy) and evaluate the resulting noiseless amplitude.
+double sample_once(const TnSkeleton& sk, std::vector<qc::Gate>& gates, int n,
+                   std::uint64_t psi_bits, std::uint64_t v_bits, std::mt19937_64& rng,
+                   const EvalOptions& eval) {
+  for (std::size_t site = 0; site < sk.mixtures.size(); ++site) {
+    const std::size_t k = sample_index(sk.mixtures[site].probs, rng);
+    gates[sk.site_gate_index[site]].custom = sk.mixtures[site].unitaries[k];
+  }
+  return std::norm(amplitude(n, gates, psi_bits, v_bits, false, eval));
+}
+
+}  // namespace
+
+sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                      std::uint64_t v_bits, std::size_t samples,
+                                      std::mt19937_64& rng, const EvalOptions& eval) {
+  la::detail::require(samples > 0, "trajectories_tn: need at least one sample");
+  const int n = nc.num_qubits();
+  TnSkeleton sk = build_skeleton(nc);
+
+  std::vector<qc::Gate> gates = sk.gates;
   double sum = 0.0, sum_sq = 0.0;
   for (std::size_t s = 0; s < samples; ++s) {
-    for (std::size_t site = 0; site < mixtures.size(); ++site) {
-      const std::size_t k = samplers[site](rng);
-      gates[site_gate_index[site]].custom = mixtures[site].unitaries[k];
-    }
-    const double f = std::norm(amplitude(n, gates, psi_bits, v_bits, false, eval));
+    const double f = sample_once(sk, gates, n, psi_bits, v_bits, rng, eval);
     sum += f;
     sum_sq += f * f;
   }
@@ -53,6 +89,23 @@ sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t 
     out.std_error = std::sqrt(std::max(0.0, var) / static_cast<double>(samples));
   }
   return out;
+}
+
+sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                      std::uint64_t v_bits, std::size_t samples,
+                                      std::uint64_t seed, const sim::ParallelOptions& popts,
+                                      const EvalOptions& eval) {
+  const int n = nc.num_qubits();
+  const TnSkeleton sk = build_skeleton(nc);
+
+  auto make_sampler = [&](std::size_t) -> sim::Sampler {
+    // Worker-private scratch: the gate list the sampled unitaries land in.
+    auto gates = std::make_shared<std::vector<qc::Gate>>(sk.gates);
+    return [&sk, gates, n, psi_bits, v_bits, eval](std::mt19937_64& rng) {
+      return sample_once(sk, *gates, n, psi_bits, v_bits, rng, eval);
+    };
+  };
+  return sim::run_trajectories(samples, seed, make_sampler, popts);
 }
 
 }  // namespace noisim::core

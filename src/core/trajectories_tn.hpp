@@ -24,4 +24,12 @@ sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t 
                                       std::uint64_t v_bits, std::size_t samples,
                                       std::mt19937_64& rng, const EvalOptions& eval = {});
 
+/// Multithreaded variant on the shared engine (sim/parallel.hpp): each
+/// worker owns a private copy of the sampled gate list, so no shared state
+/// is mutated; reproducible for a fixed `seed` across thread counts.
+sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                      std::uint64_t v_bits, std::size_t samples,
+                                      std::uint64_t seed, const sim::ParallelOptions& popts,
+                                      const EvalOptions& eval = {});
+
 }  // namespace noisim::core

@@ -54,6 +54,15 @@ double sample_once(const ch::NoisyCircuit& nc, std::uint64_t psi_bits, std::uint
 
 sim::TrajectoryResult trajectories_mps(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
                                        std::uint64_t v_bits, std::size_t samples,
+                                       std::uint64_t seed, const sim::ParallelOptions& popts,
+                                       const MpsOptions& opts) {
+  return sim::run_trajectories(
+      samples, seed,
+      [&](std::mt19937_64& rng) { return sample_once(nc, psi_bits, v_bits, rng, opts); }, popts);
+}
+
+sim::TrajectoryResult trajectories_mps(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                       std::uint64_t v_bits, std::size_t samples,
                                        std::mt19937_64& rng, const MpsOptions& opts) {
   la::detail::require(samples > 0, "trajectories_mps: need at least one sample");
   double sum = 0.0, sum_sq = 0.0;

@@ -19,4 +19,11 @@ sim::TrajectoryResult trajectories_mps(const ch::NoisyCircuit& nc, std::uint64_t
                                        std::uint64_t v_bits, std::size_t samples,
                                        std::mt19937_64& rng, const MpsOptions& opts = {});
 
+/// Multithreaded variant on the shared engine (sim/parallel.hpp): same
+/// estimator, reproducible for a fixed `seed` across thread counts.
+sim::TrajectoryResult trajectories_mps(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                       std::uint64_t v_bits, std::size_t samples,
+                                       std::uint64_t seed, const sim::ParallelOptions& popts,
+                                       const MpsOptions& opts = {});
+
 }  // namespace noisim::mps

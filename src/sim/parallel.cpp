@@ -1,0 +1,121 @@
+#include "sim/parallel.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/complex.hpp"
+
+namespace noisim::sim {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("NOISIM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void Welford::add(double x) {
+  ++count;
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (x - mean);
+}
+
+void Welford::merge(const Welford& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count), nb = static_cast<double>(other.count);
+  const double delta = other.mean - mean;
+  const double total = na + nb;
+  mean += delta * nb / total;
+  m2 += other.m2 + delta * delta * na * nb / total;
+  count += other.count;
+}
+
+double Welford::variance() const {
+  if (count < 2) return 0.0;
+  return m2 / static_cast<double>(count - 1);
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::mt19937_64 chunk_rng(std::uint64_t seed, std::uint64_t chunk_index) {
+  return std::mt19937_64(splitmix64(seed ^ splitmix64(chunk_index)));
+}
+
+TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
+                                  const SamplerFactory& make_sampler,
+                                  const ParallelOptions& opts) {
+  la::detail::require(samples > 0, "run_trajectories: need at least one sample");
+  la::detail::require(opts.chunk_size > 0, "run_trajectories: chunk_size must be positive");
+
+  const std::size_t num_chunks = (samples + opts.chunk_size - 1) / opts.chunk_size;
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min(resolve_threads(opts.threads), num_chunks));
+
+  std::vector<Welford> chunk_stats(num_chunks);
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&](std::size_t w) {
+    Sampler sampler = make_sampler(w);
+    while (true) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const std::size_t begin = c * opts.chunk_size;
+      const std::size_t end = std::min(begin + opts.chunk_size, samples);
+      std::mt19937_64 rng = chunk_rng(seed, c);
+      Welford& stats = chunk_stats[c];
+      for (std::size_t s = begin; s < end; ++s) stats.add(sampler(rng));
+    }
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w)
+      futures.push_back(std::async(std::launch::async, worker, w));
+    for (auto& f : futures) f.get();  // rethrows worker exceptions
+  }
+
+  // Deterministic reduction: merge in chunk order, independent of which
+  // worker computed which chunk.
+  Welford total;
+  for (const Welford& stats : chunk_stats) total.merge(stats);
+
+  TrajectoryResult out;
+  out.samples = total.count;
+  out.mean = total.mean;
+  if (total.count > 1)
+    out.std_error = std::sqrt(total.variance() / static_cast<double>(total.count));
+  return out;
+}
+
+TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
+                                  const Sampler& sampler, const ParallelOptions& opts) {
+  return run_trajectories(
+      samples, seed, [&sampler](std::size_t) { return sampler; }, opts);
+}
+
+}  // namespace noisim::sim

@@ -1,0 +1,79 @@
+#pragma once
+// Shared multithreaded Monte-Carlo trajectory engine.
+//
+// All three trajectory baselines (statevector, MPS, tensor network) draw
+// i.i.d. fidelity samples in an outer loop; this engine parallelizes that
+// loop while keeping the estimate bit-for-bit reproducible for a fixed seed
+// regardless of the number of worker threads:
+//
+//  * the sample budget is split into fixed-size chunks, and chunk c always
+//    draws from its own std::mt19937_64 seeded from splitmix64(seed, c) --
+//    the set of random streams is a function of (seed, chunk_size) only,
+//    never of the thread count;
+//  * idle workers steal the next unclaimed chunk from a shared atomic
+//    counter, so uneven per-sample costs (e.g. MPS bond growth) balance
+//    out without a static partition;
+//  * each chunk accumulates its own Welford mean/M2 and the per-chunk
+//    statistics are merged in chunk order (Chan's parallel variance
+//    update) after all workers join; the merge order is deterministic, so
+//    the floating-point result is too.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <random>
+
+namespace noisim::sim {
+
+struct TrajectoryResult {
+  double mean = 0.0;       // estimate of <v|E(rho)|v>
+  double std_error = 0.0;  // sample standard error of the mean
+  std::size_t samples = 0;
+};
+
+struct ParallelOptions {
+  /// Worker threads; 0 = NOISIM_THREADS env var if set, else
+  /// std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  /// Samples per RNG chunk. Part of the reproducibility contract: the same
+  /// (seed, chunk_size) pair always draws the same streams, so changing it
+  /// changes the (equally valid) estimate.
+  std::size_t chunk_size = 32;
+};
+
+/// Resolve ParallelOptions::threads (0 -> env/hardware default).
+std::size_t resolve_threads(std::size_t requested);
+
+/// Streaming mean/variance accumulator with a deterministic pairwise merge.
+struct Welford {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  // sum of squared deviations from the running mean
+
+  void add(double x);
+  void merge(const Welford& other);
+  /// Unbiased sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+};
+
+/// Derived RNG for one chunk: decorrelates consecutive chunk indices far
+/// better than seeding mt19937_64 with seed + c directly.
+std::mt19937_64 chunk_rng(std::uint64_t seed, std::uint64_t chunk_index);
+
+/// One fidelity sample in [0, 1] drawn with the supplied RNG.
+using Sampler = std::function<double(std::mt19937_64&)>;
+/// Per-worker sampler factory: called once per worker thread so a sampler
+/// can own scratch state (e.g. a gate-list copy) without synchronization.
+using SamplerFactory = std::function<Sampler(std::size_t worker)>;
+
+/// Run `samples` trajectories with work-stealing over seed-indexed chunks.
+/// The result is identical for any `opts.threads` (including 1).
+TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
+                                  const SamplerFactory& make_sampler,
+                                  const ParallelOptions& opts = {});
+
+/// Convenience overload for samplers without per-worker scratch.
+TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
+                                  const Sampler& sampler, const ParallelOptions& opts = {});
+
+}  // namespace noisim::sim

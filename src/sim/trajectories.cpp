@@ -75,9 +75,21 @@ TrajectoryResult trajectories_sv(const ch::NoisyCircuit& nc, std::uint64_t psi_b
   return out;
 }
 
+TrajectoryResult trajectories_sv(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                 std::uint64_t v_bits, std::size_t samples, std::uint64_t seed,
+                                 const ParallelOptions& opts) {
+  return run_trajectories(
+      samples, seed,
+      [&](std::mt19937_64& rng) { return sample_trajectory_sv(nc, psi_bits, v_bits, rng); },
+      opts);
+}
+
 std::size_t hoeffding_samples(double accuracy, double failure_prob) {
-  la::detail::require(accuracy > 0.0 && failure_prob > 0.0 && failure_prob < 1.0,
-                      "hoeffding_samples: bad arguments");
+  la::detail::require(accuracy > 0.0, "hoeffding_samples: accuracy must be positive");
+  // ln(2/failure) must be positive: failure_prob >= 2 would yield a
+  // non-positive sample count (and a huge bogus value once cast to size_t).
+  la::detail::require(failure_prob > 0.0 && failure_prob < 2.0,
+                      "hoeffding_samples: failure_prob must be in (0, 2)");
   const double r = std::log(2.0 / failure_prob) / (2.0 * accuracy * accuracy);
   return static_cast<std::size_t>(std::ceil(r));
 }

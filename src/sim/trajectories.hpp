@@ -16,21 +16,22 @@
 #include <cstdint>
 #include <random>
 
+#include "sim/parallel.hpp"
 #include "sim/statevector.hpp"
 
 namespace noisim::sim {
-
-struct TrajectoryResult {
-  double mean = 0.0;       // estimate of <v|E(rho)|v>
-  double std_error = 0.0;  // sample standard error of the mean
-  std::size_t samples = 0;
-};
 
 /// Run `samples` trajectories of the noisy circuit starting from |psi_bits>
 /// and estimate <v_bits| E(|psi><psi|) |v_bits>.
 TrajectoryResult trajectories_sv(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
                                  std::uint64_t v_bits, std::size_t samples,
                                  std::mt19937_64& rng);
+
+/// Multithreaded variant on the shared engine (sim/parallel.hpp): same
+/// estimator, reproducible for a fixed `seed` across thread counts.
+TrajectoryResult trajectories_sv(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                 std::uint64_t v_bits, std::size_t samples, std::uint64_t seed,
+                                 const ParallelOptions& opts);
 
 /// Single-trajectory sample (exposed for tests of the sampling step).
 double sample_trajectory_sv(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
@@ -39,6 +40,8 @@ double sample_trajectory_sv(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
 /// Number of samples needed so that a (1 - failure_prob) confidence interval
 /// of half-width `accuracy` covers the estimate, by Hoeffding's inequality
 /// on outcomes bounded in [0, 1]: r = ln(2/failure) / (2 accuracy^2).
+/// Throws LinalgError for degenerate inputs (`accuracy <= 0`,
+/// `failure_prob <= 0` or `>= 2`, where the bound is vacuous or negative).
 std::size_t hoeffding_samples(double accuracy, double failure_prob);
 
 }  // namespace noisim::sim

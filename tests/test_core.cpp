@@ -363,6 +363,26 @@ TEST(TrajectoriesTn, RejectsNonUnitaryMixtures) {
   EXPECT_THROW(trajectories_tn(nc, 0, 0, 10, rng), LinalgError);
 }
 
+TEST(TrajectoriesTn, ParallelVariantIsDeterministicAndUnbiased) {
+  const qc::Circuit c = random_circuit(3, 12, 55);
+  ch::NoisyCircuit nc(3);
+  for (std::size_t i = 0; i < c.gates().size(); ++i) {
+    nc.add_gate(c.gates()[i]);
+    if (i == 3 || i == 8) nc.add_noise(static_cast<int>(i % 3), ch::depolarizing(0.2));
+  }
+  const double exact = sim::exact_fidelity_mm(nc, 0, 0);
+
+  sim::ParallelOptions popts;
+  popts.threads = 1;
+  const sim::TrajectoryResult serial = trajectories_tn(nc, 0, 0, 2000, 21, popts);
+  popts.threads = 4;
+  const sim::TrajectoryResult parallel = trajectories_tn(nc, 0, 0, 2000, 21, popts);
+
+  EXPECT_EQ(parallel.mean, serial.mean);
+  EXPECT_EQ(parallel.std_error, serial.std_error);
+  EXPECT_NEAR(parallel.mean, exact, 5.0 * parallel.std_error + 1e-6);
+}
+
 // --- bounds ------------------------------------------------------------------------
 
 TEST(Bounds, BinomialValues) {

@@ -192,5 +192,27 @@ TEST(MpsTrajectories, HandlesTwoQubitNoise) {
   EXPECT_NEAR(r.mean, exact, 5.0 * r.std_error + 1e-6);
 }
 
+TEST(MpsTrajectories, ParallelVariantIsDeterministicAndUnbiased) {
+  const qc::Circuit c = random_circuit(4, 12, 31);
+  ch::NoisyCircuit nc(4);
+  const auto& gs = c.gates();
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    nc.add_gate(gs[i]);
+    if (i == 3) nc.add_noise(1, ch::depolarizing(0.15));
+    if (i == 8) nc.add_noise(2, ch::amplitude_damping(0.2));
+  }
+  const double exact = sim::exact_fidelity_mm(nc, 0, 0);
+
+  sim::ParallelOptions popts;
+  popts.threads = 1;
+  const sim::TrajectoryResult serial = trajectories_mps(nc, 0, 0, 1500, 4, popts, {32, 1e-14});
+  popts.threads = 4;
+  const sim::TrajectoryResult parallel = trajectories_mps(nc, 0, 0, 1500, 4, popts, {32, 1e-14});
+
+  EXPECT_EQ(parallel.mean, serial.mean);
+  EXPECT_EQ(parallel.std_error, serial.std_error);
+  EXPECT_NEAR(parallel.mean, exact, 5.0 * parallel.std_error + 1e-6);
+}
+
 }  // namespace
 }  // namespace noisim::mps

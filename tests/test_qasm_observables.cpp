@@ -104,6 +104,90 @@ cx q[0],q[1];
   EXPECT_EQ(c.size(), 2u);
 }
 
+TEST(QasmImport, NegativeAndScientificParams) {
+  const std::string text = R"(OPENQASM 2.0;
+qreg q[1];
+rx(-0.5) q[0];
+rz(2.5e-3) q[0];
+ry(-1.25e-2) q[0];
+)";
+  const qc::Circuit c = qc::from_qasm(text);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c.gates()[0].params[0], -0.5, 1e-15);
+  EXPECT_NEAR(c.gates()[1].params[0], 2.5e-3, 1e-18);
+  EXPECT_NEAR(c.gates()[2].params[0], -1.25e-2, 1e-17);
+}
+
+TEST(QasmImport, MalformedNumberThrowsLinalgError) {
+  // std::stod failure used to escape as std::invalid_argument.
+  const std::string text = "OPENQASM 2.0;\nqreg q[1];\nrx(oops) q[0];\n";
+  EXPECT_THROW(qc::from_qasm(text), LinalgError);
+}
+
+TEST(QasmImport, BlockComments) {
+  const std::string text = R"(OPENQASM 2.0;
+/* block
+   comment */
+qreg q[2];
+h q[0]; /* inline */ cx q[0],q[1];
+)";
+  const qc::Circuit c = qc::from_qasm(text);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_THROW(qc::from_qasm("OPENQASM 2.0;\nqreg q[1];\n/* unterminated"), LinalgError);
+}
+
+TEST(QasmImport, TrailingCommentWithoutNewlineAtEof) {
+  const std::string text = "OPENQASM 2.0;\nqreg q[1];\nh q[0]; // done";
+  const qc::Circuit c = qc::from_qasm(text);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QasmImport, NegativeQubitIndexThrows) {
+  const std::string text = "OPENQASM 2.0;\nqreg q[2];\nh q[-1];\n";
+  EXPECT_THROW(qc::from_qasm(text), LinalgError);
+}
+
+TEST(QasmImport, NonIntegerOrHugeQubitIndexThrows) {
+  EXPECT_THROW(qc::from_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[1.7];\n"), LinalgError);
+  EXPECT_THROW(qc::from_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[3e9];\n"), LinalgError);
+  EXPECT_THROW(qc::from_qasm("OPENQASM 2.0;\nqreg q[2.7];\n"), LinalgError);
+  EXPECT_THROW(qc::from_qasm("OPENQASM 2.0;\nqreg q[1e99];\n"), LinalgError);
+}
+
+TEST(QasmImport, LeadingPlusOnParams) {
+  const qc::Circuit c = qc::from_qasm("OPENQASM 2.0;\nqreg q[1];\nrx(+0.5) q[0];\n");
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c.gates()[0].params[0], 0.5, 1e-15);
+}
+
+TEST(QasmImport, U3AndU2MatchQelib1Matrices) {
+  const double theta = 0.7, phi = -0.4, lambda = 1.1;
+  const std::string text = "OPENQASM 2.0;\nqreg q[1];\nu3(0.7,-0.4,1.1) q[0];\nu2(-0.4,1.1) q[0];\n";
+  const qc::Circuit c = qc::from_qasm(text);
+  ASSERT_EQ(c.size(), 2u);
+
+  auto u3 = [](double t, double p, double l) {
+    const cplx eip{std::cos(p), std::sin(p)}, eil{std::cos(l), std::sin(l)};
+    la::Matrix m(2, 2);
+    m(0, 0) = cplx{std::cos(t / 2), 0.0};
+    m(0, 1) = -std::sin(t / 2) * eil;
+    m(1, 0) = std::sin(t / 2) * eip;
+    m(1, 1) = std::cos(t / 2) * eip * eil;
+    return m;
+  };
+  EXPECT_TRUE(c.gates()[0].matrix().approx_equal(u3(theta, phi, lambda), 1e-12));
+  EXPECT_TRUE(c.gates()[1].matrix().approx_equal(u3(std::numbers::pi / 2, phi, lambda), 1e-12));
+
+  // Negative theta makes sin(theta/2) negative: the matrix must still be
+  // the qelib1 definition (and unitary), not a std::polar artifact.
+  const qc::Circuit neg =
+      qc::from_qasm("OPENQASM 2.0;\nqreg q[1];\nu3(-0.5,0.2,-0.3) q[0];\n");
+  ASSERT_EQ(neg.size(), 1u);
+  const la::Matrix got = neg.gates()[0].matrix();
+  EXPECT_TRUE(got.approx_equal(u3(-0.5, 0.2, -0.3), 1e-12));
+  EXPECT_TRUE((got.adjoint() * got).approx_equal(la::Matrix::identity(2), 1e-12));
+}
+
 TEST(QasmImport, RejectsMeasurement) {
   const std::string text = "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\n";
   EXPECT_THROW(qc::from_qasm(text), LinalgError);

@@ -203,6 +203,137 @@ TEST(Trajectories, HoeffdingSampleCount) {
   EXPECT_THROW(hoeffding_samples(0.0, 0.5), LinalgError);
 }
 
+TEST(Trajectories, HoeffdingRejectsDegenerateInputs) {
+  EXPECT_THROW(hoeffding_samples(-0.1, 0.5), LinalgError);
+  EXPECT_THROW(hoeffding_samples(0.1, 0.0), LinalgError);
+  EXPECT_THROW(hoeffding_samples(0.1, -0.5), LinalgError);
+  // failure_prob >= 2 makes ln(2/failure) <= 0: the cast used to overflow
+  // to a bogus huge count (or return 0) instead of failing loudly.
+  EXPECT_THROW(hoeffding_samples(0.1, 2.0), LinalgError);
+  EXPECT_THROW(hoeffding_samples(0.1, 5.0), LinalgError);
+  // Vacuous-confidence but well-defined region still returns a count.
+  EXPECT_GE(hoeffding_samples(0.1, 1.5), 1u);
+}
+
+// --- parallel engine ---------------------------------------------------------
+
+TEST(ParallelEngine, WelfordMatchesTwoPassStatistics) {
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::vector<double> xs(257);
+  for (double& x : xs) x = unif(rng);
+
+  Welford w;
+  for (double x : xs) w.add(x);
+
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_EQ(w.count, xs.size());
+  EXPECT_NEAR(w.mean, mean, 1e-13);
+  EXPECT_NEAR(w.variance(), var, 1e-13);
+}
+
+TEST(ParallelEngine, WelfordMergeMatchesSinglePass) {
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  Welford whole, a, b, empty;
+  for (int i = 0; i < 100; ++i) {
+    const double x = unif(rng);
+    whole.add(x);
+    (i < 37 ? a : b).add(x);
+  }
+  a.merge(b);
+  a.merge(empty);  // merging an empty accumulator is a no-op
+  EXPECT_EQ(a.count, whole.count);
+  EXPECT_NEAR(a.mean, whole.mean, 1e-13);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-13);
+}
+
+ch::NoisyCircuit parallel_test_circuit() {
+  const qc::Circuit c = random_circuit(4, 16, 77);
+  ch::NoisyCircuit nc(c);
+  nc.add_noise(0, ch::depolarizing(0.1));
+  nc.add_noise(2, ch::amplitude_damping(0.15));
+  nc.add_noise(3, ch::thermal_relaxation(0.03, 0.6, 0.9));
+  return nc;
+}
+
+TEST(ParallelEngine, SameSeedSameEstimateAcrossThreadCounts) {
+  const ch::NoisyCircuit nc = parallel_test_circuit();
+  ParallelOptions opts;
+  opts.threads = 1;
+  const TrajectoryResult base = trajectories_sv(nc, 0, 0, 500, 42, opts);
+  for (std::size_t threads : {2u, 3u, 4u, 8u}) {
+    opts.threads = threads;
+    const TrajectoryResult r = trajectories_sv(nc, 0, 0, 500, 42, opts);
+    // Bit-for-bit: chunk streams and the merge order do not depend on the
+    // thread count.
+    EXPECT_EQ(r.mean, base.mean) << threads << " threads";
+    EXPECT_EQ(r.std_error, base.std_error) << threads << " threads";
+    EXPECT_EQ(r.samples, base.samples);
+  }
+}
+
+TEST(ParallelEngine, DifferentSeedsDiffer) {
+  const ch::NoisyCircuit nc = parallel_test_circuit();
+  ParallelOptions opts;
+  opts.threads = 2;
+  const TrajectoryResult a = trajectories_sv(nc, 0, 0, 200, 1, opts);
+  const TrajectoryResult b = trajectories_sv(nc, 0, 0, 200, 2, opts);
+  EXPECT_NE(a.mean, b.mean);
+}
+
+TEST(ParallelEngine, ParallelAgreesWithSerialWithinStatisticalError) {
+  const ch::NoisyCircuit nc = parallel_test_circuit();
+  const double exact = exact_fidelity_mm(nc, 0, 0);
+
+  std::mt19937_64 rng(11);
+  const TrajectoryResult serial = trajectories_sv(nc, 0, 0, 3000, rng);
+  ParallelOptions opts;
+  opts.threads = 4;
+  const TrajectoryResult parallel = trajectories_sv(nc, 0, 0, 3000, 11, opts);
+
+  // Both are unbiased estimators of the same fidelity: check each against
+  // the exact value at 5 sigma, and against each other at combined error.
+  EXPECT_NEAR(serial.mean, exact, 5.0 * serial.std_error + 1e-6);
+  EXPECT_NEAR(parallel.mean, exact, 5.0 * parallel.std_error + 1e-6);
+  EXPECT_NEAR(parallel.mean, serial.mean,
+              5.0 * (parallel.std_error + serial.std_error) + 1e-6);
+}
+
+TEST(ParallelEngine, PartialFinalChunkCountsAllSamples) {
+  const ch::NoisyCircuit nc = parallel_test_circuit();
+  ParallelOptions opts;
+  opts.threads = 3;
+  opts.chunk_size = 7;  // 100 = 14 * 7 + 2: exercises the short last chunk
+  const TrajectoryResult r = trajectories_sv(nc, 0, 0, 100, 5, opts);
+  EXPECT_EQ(r.samples, 100u);
+  EXPECT_GE(r.mean, 0.0);
+  EXPECT_LE(r.mean, 1.0 + 1e-12);
+}
+
+TEST(ParallelEngine, RejectsDegenerateArguments) {
+  const ch::NoisyCircuit nc = parallel_test_circuit();
+  ParallelOptions opts;
+  EXPECT_THROW(trajectories_sv(nc, 0, 0, 0, 1, opts), LinalgError);
+  opts.chunk_size = 0;
+  EXPECT_THROW(trajectories_sv(nc, 0, 0, 10, 1, opts), LinalgError);
+}
+
+TEST(ParallelEngine, WorkerExceptionsPropagate) {
+  ParallelOptions opts;
+  opts.threads = 4;
+  opts.chunk_size = 1;
+  EXPECT_THROW(run_trajectories(
+                   64, 9, [](std::mt19937_64&) -> double { throw LinalgError("boom"); }, opts),
+               LinalgError);
+}
+
 TEST(Trajectories, SingleSampleOfUnitaryMixtureIsValidFidelity) {
   qc::Circuit c(2);
   c.add(qc::h(0));
