@@ -1,0 +1,141 @@
+// Plan/execute engine: plan-reuse vs re-plan throughput on the Fig. 4
+// workload (hardware-grid QAOA with injected realistic noise).
+//
+// Every Algorithm-1 term contracts 2 single-layer networks that share one
+// topology, so the engine compiles each layer's contraction plan once and
+// replays it per term. This bench runs the same A(l) sweep through the
+// replay path and through the per-term re-planning reference path, checks
+// the values are bit-identical, and records per-term throughput plus the
+// plan-reuse counters to BENCH_contract_plan.json (or argv[1]).
+
+#include <chrono>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "core/approx.hpp"
+#include "sim/parallel.hpp"
+
+namespace {
+
+using namespace noisim;
+
+struct LevelRun {
+  std::size_t level = 0;
+  std::size_t terms = 0;
+  std::size_t contractions = 0;
+  bench::RunOutcome replan, reuse;
+  core::ApproxResult replan_result, reuse_result, threaded_result;
+  bool bit_identical = false;
+  bool threaded_identical = false;
+};
+
+bool same_bits(const core::ApproxResult& a, const core::ApproxResult& b) {
+  if (a.raw != b.raw || a.level_values.size() != b.level_values.size()) return false;
+  for (std::size_t i = 0; i < a.level_values.size(); ++i)
+    if (a.level_values[i] != b.level_values[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("Plan/execute engine: plan once, replay per Algorithm-1 term",
+                      "paper Fig. 4 workload, Theorem 1 cost model");
+
+  const int n = bench::large_mode() ? 100 : 64;
+  const std::size_t noises = bench::large_mode() ? 16 : 8;
+  const qc::Circuit circuit = bench::qaoa(n, 1, 77);
+  const ch::NoisyCircuit nc =
+      bench::insert_noises(circuit, noises, bench::realistic_noise(), 500 + noises);
+  std::cout << "circuit qaoa_" << n << " (" << circuit.size() << " gates, depth "
+            << circuit.depth() << ", " << noises << " noises)\n\n";
+
+  std::vector<std::size_t> levels{0, 1};
+  if (bench::large_mode()) levels.push_back(2);
+  const std::size_t hw = sim::resolve_threads(0);
+
+  auto make_opts = [&](std::size_t level, bool reuse, std::size_t threads) {
+    core::ApproxOptions opts;
+    opts.level = level;
+    opts.threads = threads;
+    opts.reuse_plans = reuse;
+    opts.eval.backend = core::EvalOptions::Backend::TensorNetwork;
+    opts.eval.tn.timeout_seconds = bench::timeout_large();
+    opts.eval.tn.max_tensor_elems = bench::memory_budget();
+    return opts;
+  };
+
+  std::vector<LevelRun> runs;
+  bool all_identical = true;
+  for (const std::size_t level : levels) {
+    LevelRun run;
+    run.level = level;
+    run.replan = bench::run_guarded_stats([&](tn::ContractStats& stats) {
+      run.replan_result = core::approximate_fidelity(nc, 0, 0, make_opts(level, false, 1));
+      stats = run.replan_result.contract_stats;
+      return run.replan_result.value;
+    });
+    run.reuse = bench::run_guarded_stats([&](tn::ContractStats& stats) {
+      run.reuse_result = core::approximate_fidelity(nc, 0, 0, make_opts(level, true, 1));
+      stats = run.reuse_result.contract_stats;
+      return run.reuse_result.value;
+    });
+    // Plan replay must be thread-safe: per-worker workspaces, bit-identical
+    // reduction at any thread count. Guarded so a budget-constrained box
+    // still emits its MO/TO rows and the JSON instead of crashing.
+    const bench::RunOutcome threaded = bench::run_guarded([&] {
+      run.threaded_result = core::approximate_fidelity(nc, 0, 0, make_opts(level, true, hw));
+      return run.threaded_result.value;
+    });
+
+    run.contractions = run.reuse_result.contractions;
+    run.terms = run.contractions / 2;
+    run.bit_identical =
+        run.replan.ok() && run.reuse.ok() && same_bits(run.replan_result, run.reuse_result);
+    run.threaded_identical = threaded.ok() && same_bits(run.reuse_result, run.threaded_result);
+    all_identical = all_identical && run.bit_identical && run.threaded_identical;
+    runs.push_back(std::move(run));
+  }
+
+  bench::Table table({"level", "terms", "replan(s)", "reuse(s)", "per-term speedup",
+                      "reuse hits", "bit-identical"});
+  for (const LevelRun& r : runs) {
+    const double speedup = r.reuse.seconds > 0.0 ? r.replan.seconds / r.reuse.seconds : 0.0;
+    table.add_row({std::to_string(r.level), std::to_string(r.terms),
+                   bench::fixed(r.replan.seconds, 3), bench::fixed(r.reuse.seconds, 3),
+                   bench::fixed(speedup, 2),
+                   std::to_string(r.reuse.contract_stats.plan_reuse_hits),
+                   r.bit_identical && r.threaded_identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nhardware threads: " << hw << "\n"
+            << "Expected shape: replay skips per-term ordering/allocation, so per-term\n"
+            << "throughput should rise >= 2x at level >= 1 while values stay bit-identical.\n";
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_contract_plan.json";
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"contract_plan\",\n"
+      << "  \"workload\": \"qaoa_" << n << " + " << noises
+      << " realistic noises (Fig. 4 workload)\",\n"
+      << "  \"qubits\": " << nc.num_qubits() << ",\n"
+      << "  \"hardware_threads\": " << hw << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const LevelRun& r = runs[i];
+    const double speedup = r.reuse.seconds > 0.0 ? r.replan.seconds / r.reuse.seconds : 0.0;
+    out << "    {\"level\": " << r.level << ", \"terms\": " << r.terms
+        << ", \"contractions\": " << r.contractions
+        << ", \"replan_seconds\": " << r.replan.seconds
+        << ", \"reuse_seconds\": " << r.reuse.seconds
+        << ", \"per_term_speedup\": " << speedup << ", \"value\": " << r.reuse.value
+        << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false")
+        << ", \"threaded_identical\": " << (r.threaded_identical ? "true" : "false")
+        << ",\n     \"replan_stats\": " << bench::stats_json(r.replan.contract_stats)
+        << ",\n     \"reuse_stats\": " << bench::stats_json(r.reuse.contract_stats) << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return all_identical ? 0 : 1;
+}

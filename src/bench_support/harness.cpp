@@ -8,12 +8,12 @@
 
 namespace noisim::bench {
 
-RunOutcome run_guarded(const std::function<double()>& fn) {
+RunOutcome run_guarded_stats(const std::function<double(tn::ContractStats&)>& fn) {
   using Clock = std::chrono::steady_clock;
   RunOutcome out;
   const auto start = Clock::now();
   try {
-    out.value = fn();
+    out.value = fn(out.contract_stats);
     out.status = RunOutcome::Status::Ok;
   } catch (const MemoryOutError& e) {
     out.status = RunOutcome::Status::MemoryOut;
@@ -23,6 +23,21 @@ RunOutcome run_guarded(const std::function<double()>& fn) {
     out.note = e.what();
   }
   out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+RunOutcome run_guarded(const std::function<double()>& fn) {
+  return run_guarded_stats([&](tn::ContractStats&) { return fn(); });
+}
+
+std::string stats_json(const tn::ContractStats& stats) {
+  std::string out = "{";
+  out += "\"num_pairwise\": " + std::to_string(stats.num_pairwise);
+  out += ", \"peak_elems\": " + std::to_string(stats.peak_elems);
+  out += ", \"plans_compiled\": " + std::to_string(stats.plans_compiled);
+  out += ", \"plan_executions\": " + std::to_string(stats.plan_executions);
+  out += ", \"plan_reuse_hits\": " + std::to_string(stats.plan_reuse_hits);
+  out += "}";
   return out;
 }
 

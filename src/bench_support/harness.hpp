@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "tn/contractor.hpp"
+
 namespace noisim::bench {
 
 struct RunOutcome {
@@ -15,12 +17,27 @@ struct RunOutcome {
   double seconds = 0.0;
   double value = 0.0;       // the computed fidelity / estimate when Ok
   std::string note;         // diagnostic (exception text)
+  /// Contraction statistics the workload reported (run_guarded_stats);
+  /// zeros otherwise. On MO/TO this holds whatever the workload wrote into
+  /// the reference before throwing -- workloads that stream into it (e.g.
+  /// exact_fidelity_tn's out-pointer) keep partial planning work visible,
+  /// while ones assigning only on success report zeros.
+  tn::ContractStats contract_stats;
 
   bool ok() const { return status == Status::Ok; }
 };
 
 /// Run `fn`, timing it and mapping MemoryOutError -> MO, TimeoutError -> TO.
 RunOutcome run_guarded(const std::function<double()>& fn);
+
+/// run_guarded variant whose workload reports contraction stats through the
+/// passed reference (aggregated into RunOutcome::contract_stats).
+RunOutcome run_guarded_stats(const std::function<double(tn::ContractStats&)>& fn);
+
+/// JSON object for a stats record, e.g. {"num_pairwise": 12, ...,
+/// "plan_reuse_hits": 7} -- spliced into the BENCH_*.json outputs so
+/// plan-reuse wins show up in the perf trajectory.
+std::string stats_json(const tn::ContractStats& stats);
 
 /// "12.34" for Ok (seconds), "MO" / "TO" / "-" otherwise.
 std::string format_time(const RunOutcome& r);

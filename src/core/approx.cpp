@@ -152,34 +152,19 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
   ApproxResult result;
   result.term_sums.assign(level + 1, cplx{0.0, 0.0});
 
-  // Evaluate one term: the chosen sites carry the given subdominant term
-  // indices; every other site carries the dominant term 0. Thread-safe:
-  // works on its own copies of the skeleton; the shared `done` counter is
-  // atomic and the (possibly user-supplied, not necessarily thread-safe)
-  // progress callback is serialized behind a mutex.
+  // Shared progress accounting: the `done` counter is atomic and the
+  // (possibly user-supplied, not necessarily thread-safe) progress callback
+  // is serialized behind a mutex, incremented inside the lock so callback
+  // values are monotonic.
   std::atomic<std::size_t> done{0};
   std::mutex progress_mutex;
-  auto eval_term = [&](const Term& term, std::vector<qc::Gate>& top,
-                       std::vector<qc::Gate>& bottom) {
-    for (std::size_t s = 0; s < num_sites; ++s) {
-      std::size_t t = 0;
-      for (std::size_t c = 0; c < term.sites.size(); ++c)
-        if (term.sites[c] == s) t = term.term_idx[c];
-      top[site_pos[s]].custom = base.sites[s].split.u[t];
-      // The bottom layer is evaluated with conjugate=true (which conjugates
-      // every matrix), so store conj(V) to end up applying V itself.
-      bottom[site_pos[s]].custom = base.sites[s].split.v[t].conj();
-    }
-    const cplx top_amp = amplitude(n, top, psi_bits, v_bits, /*conjugate=*/false, eval);
-    const cplx bot_amp = amplitude(n, bottom, psi_bits, v_bits, /*conjugate=*/true, eval);
+  auto note_progress = [&] {
     if (opts.progress) {
-      // Increment inside the lock so callback values are monotonic.
       const std::lock_guard<std::mutex> lock(progress_mutex);
       opts.progress(++done);
     } else {
       ++done;
     }
-    return top_amp * bot_amp;
   };
 
   // Deterministic static partition: worker w owns a contiguous, balanced
@@ -190,24 +175,107 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
   std::vector<cplx> values(terms.size());
   const std::size_t threads =
       std::max<std::size_t>(1, std::min<std::size_t>(opts.threads, terms.size()));
-  if (threads <= 1) {
-    std::vector<qc::Gate> top = skeleton, bottom = skeleton;
-    for (std::size_t i = 0; i < terms.size(); ++i) values[i] = eval_term(terms[i], top, bottom);
-  } else {
+  auto run_partitioned = [&](const std::function<void(std::size_t, std::size_t, std::size_t)>&
+                                 body) {
+    if (threads <= 1) {
+      body(0, 0, terms.size());
+      return;
+    }
     const std::size_t base_size = terms.size() / threads;
     const std::size_t remainder = terms.size() % threads;
     std::vector<std::future<void>> workers;
     std::size_t begin = 0;
     for (std::size_t w = 0; w < threads; ++w) {
       const std::size_t end = begin + base_size + (w < remainder ? 1 : 0);
-      workers.push_back(std::async(std::launch::async, [&, begin, end] {
-        std::vector<qc::Gate> top = skeleton, bottom = skeleton;
-        for (std::size_t i = begin; i < end; ++i) values[i] = eval_term(terms[i], top, bottom);
-      }));
+      workers.push_back(
+          std::async(std::launch::async, [&body, w, begin, end] { body(w, begin, end); }));
       begin = end;
     }
     for (auto& f : workers) f.get();  // rethrows worker exceptions
+  };
+
+  std::vector<tn::ContractStats> worker_stats(threads);
+
+  if (opts.reuse_plans && uses_tensor_network(eval, n)) {
+    // Plan/execute fast path: every term's top (bottom) network shares one
+    // topology -- only the tensors at the u chosen noise sites change. Plan
+    // each single-layer network once, then replay the plan per term with
+    // substituted site tensors, one workspace per worker.
+    const AmplitudeTemplate top_tmpl(n, skeleton, psi_bits, v_bits, /*conjugate=*/false, eval);
+    const AmplitudeTemplate bot_tmpl(n, skeleton, psi_bits, v_bits, /*conjugate=*/true, eval);
+
+    // Tensorized SVD factors per (site, term index). The bottom template is
+    // built with conjugate=true, which conjugates whatever matrix the site
+    // gate carries; the seed path stored conj(V) there to apply V itself,
+    // and conj(conj(V)) == V bitwise, so V enters the substitution directly.
+    std::vector<std::size_t> site_node(num_sites);
+    std::vector<std::vector<tsr::Tensor>> top_fac(num_sites), bot_fac(num_sites);
+    for (std::size_t s = 0; s < num_sites; ++s) {
+      site_node[s] = top_tmpl.node_of_gate(site_pos[s]);
+      const Site& site = base.sites[s];
+      for (std::size_t t = 0; t < site.split.terms(); ++t) {
+        top_fac[s].push_back(gate_matrix_tensor(site.split.u[t], static_cast<int>(site.arity)));
+        bot_fac[s].push_back(gate_matrix_tensor(site.split.v[t], static_cast<int>(site.arity)));
+      }
+    }
+
+    run_partitioned([&](std::size_t w, std::size_t begin, std::size_t end) {
+      AmplitudeTemplate::Session top_session = top_tmpl.session();
+      AmplitudeTemplate::Session bot_session = bot_tmpl.session();
+      std::vector<AmplitudeTemplate::Substitution> top_subs(num_sites), bot_subs(num_sites);
+      for (std::size_t i = begin; i < end; ++i) {
+        const Term& term = terms[i];
+        // Dominant factor everywhere, subdominant at the chosen sites.
+        for (std::size_t s = 0; s < num_sites; ++s) {
+          top_subs[s] = {site_node[s], &top_fac[s][0]};
+          bot_subs[s] = {site_node[s], &bot_fac[s][0]};
+        }
+        for (std::size_t c = 0; c < term.sites.size(); ++c) {
+          const std::size_t s = term.sites[c];
+          top_subs[s].second = &top_fac[s][term.term_idx[c]];
+          bot_subs[s].second = &bot_fac[s][term.term_idx[c]];
+        }
+        const cplx top_amp = top_session.evaluate(top_subs);
+        const cplx bot_amp = bot_session.evaluate(bot_subs);
+        note_progress();
+        values[i] = top_amp * bot_amp;
+      }
+      worker_stats[w].merge(top_session.stats());
+      worker_stats[w].merge(bot_session.stats());
+    });
+    result.contract_stats.merge(top_tmpl.compile_stats());
+    result.contract_stats.merge(bot_tmpl.compile_stats());
+  } else {
+    // Reference path (state-vector backend, or reuse_plans disabled):
+    // each term materializes its gate lists and evaluates them standalone,
+    // re-planning any tensor-network contraction from scratch. Each worker
+    // owns private copies of the skeleton.
+    auto eval_term = [&](const Term& term, std::vector<qc::Gate>& top,
+                         std::vector<qc::Gate>& bottom, tn::ContractStats* stats) {
+      for (std::size_t s = 0; s < num_sites; ++s) {
+        std::size_t t = 0;
+        for (std::size_t c = 0; c < term.sites.size(); ++c)
+          if (term.sites[c] == s) t = term.term_idx[c];
+        top[site_pos[s]].custom = base.sites[s].split.u[t];
+        // The bottom layer is evaluated with conjugate=true (which
+        // conjugates every matrix), so store conj(V) to apply V itself.
+        bottom[site_pos[s]].custom = base.sites[s].split.v[t].conj();
+      }
+      const cplx top_amp = amplitude(n, top, psi_bits, v_bits, /*conjugate=*/false, eval, stats);
+      const cplx bot_amp = amplitude(n, bottom, psi_bits, v_bits, /*conjugate=*/true, eval, stats);
+      note_progress();
+      return top_amp * bot_amp;
+    };
+
+    run_partitioned([&](std::size_t w, std::size_t begin, std::size_t end) {
+      std::vector<qc::Gate> top = skeleton, bottom = skeleton;
+      for (std::size_t i = begin; i < end; ++i)
+        values[i] = eval_term(terms[i], top, bottom, &worker_stats[w]);
+    });
   }
+
+  // Deterministic stats reduction in worker order.
+  for (const tn::ContractStats& ws : worker_stats) result.contract_stats.merge(ws);
 
   // Deterministic reduction in enumeration order.
   for (std::size_t i = 0; i < terms.size(); ++i) result.term_sums[terms[i].level] += values[i];

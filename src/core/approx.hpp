@@ -28,6 +28,15 @@ struct ApproxOptions {
   /// terms evaluated so far (benchmarks use it for long sweeps). Called
   /// from worker threads when threads > 1.
   std::function<void(std::size_t)> progress;
+  /// Compile each layer's contraction plan once and replay it across all
+  /// enumerated terms (every term's single-layer network shares one
+  /// topology, differing only in the u inserted noise tensors). Disable to
+  /// re-plan every term -- the reference path mirroring the pre-refactor
+  /// per-term planning structure, kept for the bench_contract_plan speedup
+  /// baseline and equivalence tests; both paths share one planner and
+  /// executor, so they produce bit-identical values. Only affects the
+  /// tensor-network backend.
+  bool reuse_plans = true;
 };
 
 struct ApproxResult {
@@ -48,6 +57,10 @@ struct ApproxResult {
   /// Generalized per-site product bound using the numerically computed
   /// dominant/subdominant norms -- always valid, usually tighter.
   double tight_error_bound = 0.0;
+  /// Aggregated tensor-network contraction statistics across all term
+  /// evaluations and worker threads (plan compilations, replays, reuse
+  /// hits). Zero when the state-vector backend evaluated the terms.
+  tn::ContractStats contract_stats;
 };
 
 /// Run Algorithm 1 on a noisy circuit with computational-basis input and

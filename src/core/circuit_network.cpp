@@ -6,23 +6,29 @@
 
 namespace noisim::core {
 
+tsr::Tensor basis_state_tensor(bool one) {
+  tsr::Tensor t{{2}};
+  t[one ? 1 : 0] = cplx{1.0, 0.0};
+  return t;
+}
+
+tsr::Tensor gate_matrix_tensor(const la::Matrix& m, int num_qubits) {
+  tsr::Tensor t = tsr::Tensor::from_matrix(m);
+  if (num_qubits == 2) t = t.reshape({2, 2, 2, 2});
+  return t;
+}
+
 tn::Network amplitude_network(int n, const std::vector<qc::Gate>& gates,
                               std::uint64_t psi_bits, std::uint64_t v_bits, bool conjugate) {
   la::detail::require(n > 0, "amplitude_network: qubit count out of range");
   tn::Network net;
-
-  auto basis_tensor = [](bool one) {
-    tsr::Tensor t{{2}};
-    t[one ? 1 : 0] = cplx{1.0, 0.0};
-    return t;
-  };
 
   // Input caps |psi_q> establish the initial wire edges.
   std::vector<tn::EdgeId> wire(static_cast<std::size_t>(n));
   for (int q = 0; q < n; ++q) {
     wire[static_cast<std::size_t>(q)] = net.new_edge();
     const bool one = basis_bit(psi_bits, n, q);
-    net.add_node(basis_tensor(one), {wire[static_cast<std::size_t>(q)]},
+    net.add_node(basis_state_tensor(one), {wire[static_cast<std::size_t>(q)]},
                  "psi[q" + std::to_string(q) + "]");
   }
 
@@ -32,17 +38,14 @@ tn::Network amplitude_network(int n, const std::vector<qc::Gate>& gates,
     if (g.num_qubits() == 1) {
       const auto q = static_cast<std::size_t>(g.qubits[0]);
       const tn::EdgeId out = net.new_edge();
-      // Axes: [out, in]; m(out, in).
-      net.add_node(tsr::Tensor::from_matrix(m), {out, wire[q]}, g.description());
+      net.add_node(gate_matrix_tensor(m, 1), {out, wire[q]}, g.description());
       wire[q] = out;
     } else {
       const auto a = static_cast<std::size_t>(g.qubits[0]);
       const auto b = static_cast<std::size_t>(g.qubits[1]);
       const tn::EdgeId out_a = net.new_edge();
       const tn::EdgeId out_b = net.new_edge();
-      // Row-major reshape of the 4x4: axes [out_a, out_b, in_a, in_b].
-      tsr::Tensor t = tsr::Tensor::from_matrix(m).reshape({2, 2, 2, 2});
-      net.add_node(std::move(t), {out_a, out_b, wire[a], wire[b]}, g.description());
+      net.add_node(gate_matrix_tensor(m, 2), {out_a, out_b, wire[a], wire[b]}, g.description());
       wire[a] = out_a;
       wire[b] = out_b;
     }
@@ -52,10 +55,61 @@ tn::Network amplitude_network(int n, const std::vector<qc::Gate>& gates,
   // conjugation is a no-op and the same tensor serves both layers.
   for (int q = 0; q < n; ++q) {
     const bool one = basis_bit(v_bits, n, q);
-    net.add_node(basis_tensor(one), {wire[static_cast<std::size_t>(q)]},
+    net.add_node(basis_state_tensor(one), {wire[static_cast<std::size_t>(q)]},
                  "v[q" + std::to_string(q) + "]");
   }
   return net;
+}
+
+namespace {
+
+/// Contraction options for a gate list under `opts`: resolves sequence_for
+/// (structure-aware ordering) into a Sequential custom sequence.
+tn::ContractOptions resolve_tn_options(int n, const std::vector<qc::Gate>& gates,
+                                       const EvalOptions& opts) {
+  tn::ContractOptions copts = opts.tn;
+  if (opts.sequence_for) {
+    std::vector<std::size_t> seq = opts.sequence_for(n, gates);
+    if (!seq.empty()) {
+      copts.strategy = tn::OrderStrategy::Sequential;
+      copts.custom_sequence = std::move(seq);
+    }
+  }
+  return copts;
+}
+
+}  // namespace
+
+AmplitudeTemplate::AmplitudeTemplate(int n, const std::vector<qc::Gate>& skeleton,
+                                     std::uint64_t psi_bits, std::uint64_t v_bits,
+                                     bool conjugate, const EvalOptions& opts)
+    : net_(amplitude_network(n, skeleton, psi_bits, v_bits, conjugate)),
+      plan_(tn::ContractionPlan::compile(net_, resolve_tn_options(n, skeleton, opts),
+                                         &compile_stats_)),
+      n_(n) {}
+
+AmplitudeTemplate::Session::Session(const AmplitudeTemplate& tmpl) : tmpl_(&tmpl) {
+  inputs_.reserve(tmpl.net_.num_nodes());
+  for (std::size_t i = 0; i < tmpl.net_.num_nodes(); ++i)
+    inputs_.push_back(&tmpl.net_.node(i).tensor);
+}
+
+cplx AmplitudeTemplate::Session::evaluate(std::span<const Substitution> subs) {
+  for (const Substitution& s : subs) {
+    la::detail::require(s.first < inputs_.size(), "AmplitudeTemplate: substitution out of range");
+    inputs_[s.first] = s.second;
+  }
+  cplx value;
+  try {
+    value = tmpl_->plan_
+                .execute(std::span<const tsr::Tensor* const>(inputs_), ws_, &stats_)
+                .to_scalar();
+  } catch (...) {
+    for (const Substitution& s : subs) inputs_[s.first] = &tmpl_->net_.node(s.first).tensor;
+    throw;
+  }
+  for (const Substitution& s : subs) inputs_[s.first] = &tmpl_->net_.node(s.first).tensor;
+  return value;
 }
 
 namespace {
@@ -87,16 +141,8 @@ cplx amplitude(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_bits
   }
 
   auto contract_tn = [&] {
-    tn::ContractOptions copts = opts.tn;
-    if (opts.sequence_for) {
-      std::vector<std::size_t> seq = opts.sequence_for(n, *use);
-      if (!seq.empty()) {
-        copts.strategy = tn::OrderStrategy::Sequential;
-        copts.custom_sequence = std::move(seq);
-      }
-    }
     return tn::contract_to_scalar(amplitude_network(n, *use, psi_bits, v_bits, conjugate),
-                                  copts, stats);
+                                  resolve_tn_options(n, *use, opts), stats);
   };
 
   switch (opts.backend) {

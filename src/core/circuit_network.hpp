@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.hpp"
 #include "tn/contractor.hpp"
+#include "tn/plan.hpp"
 
 namespace noisim::core {
 
@@ -58,5 +60,87 @@ tn::Network amplitude_network(int n, const std::vector<qc::Gate>& gates,
 cplx amplitude(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_bits,
                std::uint64_t v_bits, bool conjugate = false, const EvalOptions& opts = {},
                tn::ContractStats* stats = nullptr);
+
+/// |0> or |1> as a rank-1 tensor (the networks' input/output caps).
+tsr::Tensor basis_state_tensor(bool one);
+
+/// A gate matrix as the tensor its network node carries: 2x2 matrices stay
+/// rank-2 [out, in]; 4x4 (2-qubit) matrices become the rank-4
+/// [out_a, out_b, in_a, in_b] gate tensor. This is the single definition of
+/// the node layout amplitude_network uses -- substitution paths (Algorithm-1
+/// insertions, trajectory samples) must build their tensors through it.
+tsr::Tensor gate_matrix_tensor(const la::Matrix& m, int num_qubits);
+
+/// True iff `opts` resolves to the tensor-network backend for n qubits
+/// (explicit TensorNetwork, or Auto past the state-vector cutoff).
+inline bool uses_tensor_network(const EvalOptions& opts, int n) {
+  return opts.backend == EvalOptions::Backend::TensorNetwork ||
+         (opts.backend == EvalOptions::Backend::Auto && n > opts.sv_max_qubits);
+}
+
+/// Plan-once / replay-per-term amplitude evaluation.
+///
+/// Builds the tensor network of <v| skeleton |psi> once, compiles its
+/// contraction plan once, and replays the plan with per-call tensor
+/// substitutions at chosen nodes. Every Algorithm-1 term and every TN
+/// trajectory sample shares one topology (only the noise-site insertions
+/// change), so this turns O(terms x (plan + contract)) into
+/// O(plan + terms x contract).
+///
+/// The template is immutable after construction and safe to share across
+/// worker threads; each worker evaluates through its own Session (which
+/// owns the plan workspace). Construction compiles the plan, so
+/// MemoryOutError / TimeoutError surface here -- at plan time -- exactly
+/// like they would on a first contraction.
+class AmplitudeTemplate {
+ public:
+  /// `skeleton` must stay shape-stable under substitution: replacement
+  /// tensors carry the same shape as the gate they stand in for.
+  /// `opts.sequence_for` (if set) is resolved once against the skeleton.
+  AmplitudeTemplate(int n, const std::vector<qc::Gate>& skeleton, std::uint64_t psi_bits,
+                    std::uint64_t v_bits, bool conjugate, const EvalOptions& opts);
+
+  /// Network node carrying skeleton gate `gate_index` (for substitutions).
+  std::size_t node_of_gate(std::size_t gate_index) const {
+    return static_cast<std::size_t>(n_) + gate_index;
+  }
+
+  const tn::ContractionPlan& plan() const { return plan_; }
+  /// Stats recorded while compiling the plan (plans_compiled = 1).
+  const tn::ContractStats& compile_stats() const { return compile_stats_; }
+
+  /// (node index, replacement tensor) pair for Session::evaluate.
+  using Substitution = std::pair<std::size_t, const tsr::Tensor*>;
+
+  /// Per-thread evaluation state: plan workspace + input pointer table.
+  class Session {
+   public:
+    /// Evaluate the skeleton amplitude with each subs[i].first node's
+    /// tensor replaced by *subs[i].second (shapes must match). Replays the
+    /// compiled plan; no planning, near-zero allocation in steady state.
+    cplx evaluate(std::span<const Substitution> subs);
+    /// Contraction stats accumulated across evaluate calls.
+    const tn::ContractStats& stats() const { return stats_; }
+
+   private:
+    friend class AmplitudeTemplate;
+    explicit Session(const AmplitudeTemplate& tmpl);
+    const AmplitudeTemplate* tmpl_;
+    tn::PlanWorkspace ws_;
+    std::vector<const tsr::Tensor*> inputs_;
+    tn::ContractStats stats_;
+  };
+
+  /// A fresh session; the template must outlive it.
+  Session session() const { return Session(*this); }
+
+ private:
+  // Declaration order matters: compile_stats_ is written while plan_
+  // initializes, and plan_ compiles from net_.
+  tn::Network net_;
+  tn::ContractStats compile_stats_;
+  tn::ContractionPlan plan_;
+  int n_ = 0;
+};
 
 }  // namespace noisim::core

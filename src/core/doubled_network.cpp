@@ -10,20 +10,14 @@ OpenDoubledNetwork doubled_network_open(const ch::NoisyCircuit& nc, std::uint64_
   la::detail::require(n > 0, "doubled_network: qubit count out of range");
   tn::Network net;
 
-  auto basis_tensor = [](bool one) {
-    tsr::Tensor t{{2}};
-    t[one ? 1 : 0] = cplx{1.0, 0.0};
-    return t;
-  };
-
   std::vector<tn::EdgeId> top(static_cast<std::size_t>(n)), bot(static_cast<std::size_t>(n));
   for (int q = 0; q < n; ++q) {
     const bool one = basis_bit(psi_bits, n, q);
     top[static_cast<std::size_t>(q)] = net.new_edge();
-    net.add_node(basis_tensor(one), {top[static_cast<std::size_t>(q)]}, "psi.top");
+    net.add_node(basis_state_tensor(one), {top[static_cast<std::size_t>(q)]}, "psi.top");
     bot[static_cast<std::size_t>(q)] = net.new_edge();
     // |psi*> = |psi> for computational basis inputs.
-    net.add_node(basis_tensor(one), {bot[static_cast<std::size_t>(q)]}, "psi.bot");
+    net.add_node(basis_state_tensor(one), {bot[static_cast<std::size_t>(q)]}, "psi.bot");
   }
 
   auto add_gate_layer = [&](const qc::Gate& g, std::vector<tn::EdgeId>& wire, bool conjugate) {
@@ -32,7 +26,7 @@ OpenDoubledNetwork doubled_network_open(const ch::NoisyCircuit& nc, std::uint64_
     if (g.num_qubits() == 1) {
       const auto q = static_cast<std::size_t>(g.qubits[0]);
       const tn::EdgeId out = net.new_edge();
-      net.add_node(tsr::Tensor::from_matrix(m), {out, wire[q]},
+      net.add_node(gate_matrix_tensor(m, 1), {out, wire[q]},
                    (conjugate ? "conj:" : "") + g.description());
       wire[q] = out;
     } else {
@@ -40,8 +34,8 @@ OpenDoubledNetwork doubled_network_open(const ch::NoisyCircuit& nc, std::uint64_
       const auto b = static_cast<std::size_t>(g.qubits[1]);
       const tn::EdgeId out_a = net.new_edge();
       const tn::EdgeId out_b = net.new_edge();
-      net.add_node(tsr::Tensor::from_matrix(m).reshape({2, 2, 2, 2}),
-                   {out_a, out_b, wire[a], wire[b]}, (conjugate ? "conj:" : "") + g.description());
+      net.add_node(gate_matrix_tensor(m, 2), {out_a, out_b, wire[a], wire[b]},
+                   (conjugate ? "conj:" : "") + g.description());
       wire[a] = out_a;
       wire[b] = out_b;
     }
@@ -91,15 +85,11 @@ tn::Network doubled_network(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
                             std::uint64_t v_bits) {
   OpenDoubledNetwork open = doubled_network_open(nc, psi_bits);
   const int n = nc.num_qubits();
-  auto basis_tensor = [](bool one) {
-    tsr::Tensor t{{2}};
-    t[one ? 1 : 0] = cplx{1.0, 0.0};
-    return t;
-  };
   for (int q = 0; q < n; ++q) {
     const bool one = basis_bit(v_bits, n, q);
-    open.net.add_node(basis_tensor(one), {open.top[static_cast<std::size_t>(q)]}, "v.top");
-    open.net.add_node(basis_tensor(one), {open.bottom[static_cast<std::size_t>(q)]}, "v.bot");
+    open.net.add_node(basis_state_tensor(one), {open.top[static_cast<std::size_t>(q)]}, "v.top");
+    open.net.add_node(basis_state_tensor(one), {open.bottom[static_cast<std::size_t>(q)]},
+                      "v.bot");
   }
   return std::move(open.net);
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
 
 namespace noisim::core {
 
@@ -51,8 +52,9 @@ std::size_t sample_index(const std::vector<double>& probs, std::mt19937_64& rng)
   return probs.size() - 1;  // rounding fall-through
 }
 
-// One trajectory: sample a unitary per site into `gates` (a worker-private
-// copy) and evaluate the resulting noiseless amplitude.
+// One trajectory through the per-call-planned path: sample a unitary per
+// site into `gates` (a worker-private copy) and evaluate the resulting
+// noiseless amplitude from scratch.
 double sample_once(const TnSkeleton& sk, std::vector<qc::Gate>& gates, int n,
                    std::uint64_t psi_bits, std::uint64_t v_bits, std::mt19937_64& rng,
                    const EvalOptions& eval) {
@@ -61,6 +63,52 @@ double sample_once(const TnSkeleton& sk, std::vector<qc::Gate>& gates, int n,
     gates[sk.site_gate_index[site]].custom = sk.mixtures[site].unitaries[k];
   }
   return std::norm(amplitude(n, gates, psi_bits, v_bits, false, eval));
+}
+
+// Plan-replay machinery for the tensor-network backend: every sample shares
+// the skeleton's topology, so the contraction plan is compiled once and
+// replayed per trajectory with only the sampled site tensors substituted.
+struct TnPlanContext {
+  AmplitudeTemplate tmpl;
+  std::vector<std::size_t> site_node;
+  // Tensorized mixture unitaries per (site, mixture index) -- sampling then
+  // allocates nothing per trajectory.
+  std::vector<std::vector<tsr::Tensor>> site_tensors;
+
+  TnPlanContext(const ch::NoisyCircuit& nc, const TnSkeleton& sk, std::uint64_t psi_bits,
+                std::uint64_t v_bits, const EvalOptions& eval)
+      : tmpl(nc.num_qubits(), sk.gates, psi_bits, v_bits, /*conjugate=*/false, eval) {
+    site_node.reserve(sk.mixtures.size());
+    site_tensors.reserve(sk.mixtures.size());
+    for (std::size_t site = 0; site < sk.mixtures.size(); ++site) {
+      site_node.push_back(tmpl.node_of_gate(sk.site_gate_index[site]));
+      const qc::Gate& g = sk.gates[sk.site_gate_index[site]];
+      std::vector<tsr::Tensor> tensors;
+      tensors.reserve(sk.mixtures[site].unitaries.size());
+      for (const la::Matrix& u : sk.mixtures[site].unitaries)
+        tensors.push_back(gate_matrix_tensor(u, g.num_qubits()));
+      site_tensors.push_back(std::move(tensors));
+    }
+  }
+};
+
+// One trajectory through the plan-replay path. Draws the same RNG stream in
+// the same order as sample_once, so both paths produce identical estimates.
+double sample_once_plan(const TnSkeleton& sk, const TnPlanContext& ctx,
+                        AmplitudeTemplate::Session& session,
+                        std::vector<AmplitudeTemplate::Substitution>& subs,
+                        std::mt19937_64& rng) {
+  for (std::size_t site = 0; site < sk.mixtures.size(); ++site) {
+    const std::size_t k = sample_index(sk.mixtures[site].probs, rng);
+    subs[site] = {ctx.site_node[site], &ctx.site_tensors[site][k]};
+  }
+  return std::norm(session.evaluate(subs));
+}
+
+// Plan reuse applies when the contraction backend runs and the gate list is
+// shape-stable per sample (simplify would cancel differently per draw).
+bool plan_replay_applies(const EvalOptions& eval, int n) {
+  return uses_tensor_network(eval, n) && !eval.simplify;
 }
 
 }  // namespace
@@ -72,10 +120,21 @@ sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t 
   const int n = nc.num_qubits();
   TnSkeleton sk = build_skeleton(nc);
 
-  std::vector<qc::Gate> gates = sk.gates;
+  std::optional<TnPlanContext> ctx;
+  std::optional<AmplitudeTemplate::Session> session;
+  std::vector<AmplitudeTemplate::Substitution> subs(sk.mixtures.size());
+  std::vector<qc::Gate> gates;
+  if (plan_replay_applies(eval, n)) {
+    ctx.emplace(nc, sk, psi_bits, v_bits, eval);
+    session.emplace(ctx->tmpl.session());
+  } else {
+    gates = sk.gates;
+  }
+
   double sum = 0.0, sum_sq = 0.0;
   for (std::size_t s = 0; s < samples; ++s) {
-    const double f = sample_once(sk, gates, n, psi_bits, v_bits, rng, eval);
+    const double f = ctx ? sample_once_plan(sk, *ctx, *session, subs, rng)
+                         : sample_once(sk, gates, n, psi_bits, v_bits, rng, eval);
     sum += f;
     sum_sq += f * f;
   }
@@ -97,6 +156,21 @@ sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t 
                                       const EvalOptions& eval) {
   const int n = nc.num_qubits();
   const TnSkeleton sk = build_skeleton(nc);
+
+  if (plan_replay_applies(eval, n)) {
+    // Shared immutable plan; per-worker sessions (workspace + input table)
+    // and substitution buffers, so replays never contend.
+    const TnPlanContext ctx(nc, sk, psi_bits, v_bits, eval);
+    auto make_sampler = [&](std::size_t) -> sim::Sampler {
+      auto session = std::make_shared<AmplitudeTemplate::Session>(ctx.tmpl.session());
+      auto subs = std::make_shared<std::vector<AmplitudeTemplate::Substitution>>(
+          sk.mixtures.size());
+      return [&sk, &ctx, session, subs](std::mt19937_64& rng) {
+        return sample_once_plan(sk, ctx, *session, *subs, rng);
+      };
+    };
+    return sim::run_trajectories(samples, seed, make_sampler, popts);
+  }
 
   auto make_sampler = [&](std::size_t) -> sim::Sampler {
     // Worker-private scratch: the gate list the sampled unitaries land in.

@@ -46,6 +46,50 @@ Plan make_plan(const Tensor& a, std::span<const std::size_t> axes_a, const Tenso
 
 }  // namespace
 
+namespace detail {
+
+void matmul_accumulate(const cplx* a, const cplx* b, cplx* out, std::size_t m, std::size_t k,
+                       std::size_t n) {
+  // Panel sizes: a kBlockK x kBlockJ panel of b (64 KiB of complex<double>)
+  // stays cache-resident across the whole i loop. Blocks are visited in
+  // ascending order, so each out[i, j] still accumulates over kk = 0..k-1
+  // ascending -- bit-identical to the unblocked ikj loop.
+  //
+  // The inner loop works on raw doubles: (ar*br - ai*bi, ar*bi + ai*br) is
+  // the exact operation std::complex multiplication performs on finite
+  // values (identical results bit for bit), but stated this way the
+  // compiler vectorizes it instead of emitting __muldc3 calls.
+  constexpr std::size_t kBlockK = 64;
+  constexpr std::size_t kBlockJ = 64;
+  const double* pa = reinterpret_cast<const double*>(a);
+  const double* pb = reinterpret_cast<const double*>(b);
+  double* po = reinterpret_cast<double*>(out);
+  for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const std::size_t k1 = std::min(k, k0 + kBlockK);
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+      const std::size_t j1 = std::min(n, j0 + kBlockJ);
+      for (std::size_t i = 0; i < m; ++i) {
+        double* orow = po + 2 * i * n;
+        const double* arow = pa + 2 * i * k;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const double ar = arow[2 * kk];
+          const double ai = arow[2 * kk + 1];
+          if (ar == 0.0 && ai == 0.0) continue;
+          const double* brow = pb + 2 * kk * n;
+          for (std::size_t j = j0; j < j1; ++j) {
+            const double br = brow[2 * j];
+            const double bi = brow[2 * j + 1];
+            orow[2 * j] += ar * br - ai * bi;
+            orow[2 * j + 1] += ar * bi + ai * br;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
 std::size_t contract_result_size(const Tensor& a, std::span<const std::size_t> axes_a,
                                  const Tensor& b, std::span<const std::size_t> axes_b) {
   const Plan p = make_plan(a, axes_a, b, axes_b);
@@ -57,32 +101,28 @@ Tensor contract(const Tensor& a, std::span<const std::size_t> axes_a, const Tens
   const Plan p = make_plan(a, axes_a, b, axes_b);
 
   // Bring A to [free..., contracted...] and B to [contracted..., free...],
-  // then the contraction is a (m x k) * (k x n) matrix product.
+  // then the contraction is a (m x k) * (k x n) matrix product. Operands
+  // that are already in that order (e.g. matrix-shaped tensors contracted
+  // along their natural axes) are used in place without a permuted copy.
   std::vector<std::size_t> perm_a = p.free_a;
   perm_a.insert(perm_a.end(), axes_a.begin(), axes_a.end());
   std::vector<std::size_t> perm_b(axes_b.begin(), axes_b.end());
   perm_b.insert(perm_b.end(), p.free_b.begin(), p.free_b.end());
 
-  const Tensor at = a.permute(perm_a);
-  const Tensor bt = b.permute(perm_b);
-
-  Tensor out(p.out_shape.empty() ? std::vector<std::size_t>{} : p.out_shape);
-  if (p.out_shape.empty()) out = Tensor::scalar(cplx{0.0, 0.0});
-
-  // ikj loop: the inner loop streams contiguously over bt's row j-range.
-  const cplx* pa = at.data();
-  const cplx* pb = bt.data();
-  cplx* po = out.data();
-  for (std::size_t i = 0; i < p.m; ++i) {
-    cplx* orow = po + i * p.n;
-    const cplx* arow = pa + i * p.k;
-    for (std::size_t kk = 0; kk < p.k; ++kk) {
-      const cplx aik = arow[kk];
-      if (aik == cplx{0.0, 0.0}) continue;
-      const cplx* brow = pb + kk * p.n;
-      for (std::size_t j = 0; j < p.n; ++j) orow[j] += aik * brow[j];
-    }
+  Tensor at_store, bt_store;
+  const cplx* pa = a.data();
+  if (!is_identity_permutation(perm_a)) {
+    at_store = a.permute(perm_a);
+    pa = at_store.data();
   }
+  const cplx* pb = b.data();
+  if (!is_identity_permutation(perm_b)) {
+    bt_store = b.permute(perm_b);
+    pb = bt_store.data();
+  }
+
+  Tensor out(p.out_shape);
+  detail::matmul_accumulate(pa, pb, out.data(), p.m, p.k, p.n);
   return out;
 }
 

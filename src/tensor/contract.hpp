@@ -26,4 +26,16 @@ inline Tensor contract(const Tensor& a, std::initializer_list<std::size_t> axes_
                   std::span<const std::size_t>(axes_b.begin(), axes_b.size()));
 }
 
+namespace detail {
+
+/// out[m x n] += a[m x k] * b[k x n]. `out` must be zero-initialized (or
+/// hold a partial sum to accumulate onto). Cache-blocked over the k and j
+/// loops; per output element the k-accumulation order is ascending
+/// regardless of blocking, so results are bit-identical to the naive
+/// triple loop. Shared by tsr::contract and the tn plan executor.
+void matmul_accumulate(const cplx* a, const cplx* b, cplx* out, std::size_t m, std::size_t k,
+                       std::size_t n);
+
+}  // namespace detail
+
 }  // namespace noisim::tsr

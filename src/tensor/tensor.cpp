@@ -17,6 +17,8 @@ std::size_t shape_size(const std::vector<std::size_t>& shape) {
   return n;
 }
 
+}  // namespace
+
 std::vector<std::size_t> row_major_strides(const std::vector<std::size_t>& shape) {
   std::vector<std::size_t> st(shape.size());
   std::size_t acc = 1;
@@ -27,7 +29,50 @@ std::vector<std::size_t> row_major_strides(const std::vector<std::size_t>& shape
   return st;
 }
 
-}  // namespace
+bool is_identity_permutation(std::span<const std::size_t> perm) {
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    if (perm[i] != i) return false;
+  return true;
+}
+
+void permute_walk(const cplx* src, std::span<const std::size_t> out_shape,
+                  std::span<const std::size_t> src_stride, cplx* dst, std::size_t total,
+                  std::size_t* idx) {
+  const std::size_t rank = out_shape.size();
+  if (rank == 0) {
+    if (total > 0) dst[0] = src[0];
+    return;
+  }
+  std::fill(idx, idx + rank, 0);
+  std::size_t at = 0;
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    dst[flat] = src[at];
+    for (std::size_t ax = rank; ax-- > 0;) {
+      if (++idx[ax] < out_shape[ax]) {
+        at += src_stride[ax];
+        break;
+      }
+      at -= src_stride[ax] * (out_shape[ax] - 1);
+      idx[ax] = 0;
+    }
+  }
+}
+
+void permute_into(const cplx* src, std::span<const std::size_t> shape,
+                  std::span<const std::size_t> perm, cplx* dst) {
+  const std::size_t rank = shape.size();
+  la::detail::require(perm.size() == rank, "permute_into: rank mismatch");
+  const std::vector<std::size_t> strides =
+      row_major_strides(std::vector<std::size_t>(shape.begin(), shape.end()));
+  std::vector<std::size_t> out_shape(rank), src_stride(rank), idx(rank);
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < rank; ++i) {
+    out_shape[i] = shape[perm[i]];
+    src_stride[i] = strides[perm[i]];
+    total *= out_shape[i];
+  }
+  permute_walk(src, out_shape, src_stride, dst, rank == 0 ? 1 : total, idx.data());
+}
 
 Tensor::Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
   data_.assign(shape_size(shape_), cplx{0.0, 0.0});
@@ -74,35 +119,12 @@ Tensor Tensor::permute(std::span<const std::size_t> perm) const {
     la::detail::require(p < rank() && !seen[p], "Tensor::permute: invalid permutation");
     seen[p] = true;
   }
+  if (is_identity_permutation(perm)) return *this;
 
   std::vector<std::size_t> new_shape(rank());
   for (std::size_t i = 0; i < rank(); ++i) new_shape[i] = shape_[perm[i]];
   Tensor out(new_shape);
-  if (rank() == 0) {
-    out.data_[0] = data_[0];
-    return out;
-  }
-
-  const std::vector<std::size_t> old_strides = row_major_strides(shape_);
-  // Stride of output axis i in the *source* flat layout.
-  std::vector<std::size_t> src_stride(rank());
-  for (std::size_t i = 0; i < rank(); ++i) src_stride[i] = old_strides[perm[i]];
-
-  // Odometer walk over the output in row-major order.
-  std::vector<std::size_t> idx(rank(), 0);
-  std::size_t src = 0;
-  const std::size_t total = out.size();
-  for (std::size_t flat = 0; flat < total; ++flat) {
-    out.data_[flat] = data_[src];
-    for (std::size_t ax = rank(); ax-- > 0;) {
-      if (++idx[ax] < new_shape[ax]) {
-        src += src_stride[ax];
-        break;
-      }
-      src -= src_stride[ax] * (new_shape[ax] - 1);
-      idx[ax] = 0;
-    }
-  }
+  permute_into(data_.data(), shape_, perm, out.data_.data());
   return out;
 }
 

@@ -86,6 +86,26 @@ class Tensor {
   std::vector<cplx> data_;
 };
 
+/// True iff perm[i] == i for every axis (permutation is a no-op).
+bool is_identity_permutation(std::span<const std::size_t> perm);
+
+/// Row-major strides of a shape (last axis contiguous).
+std::vector<std::size_t> row_major_strides(const std::vector<std::size_t>& shape);
+
+/// Permute `src` (row-major under `shape`) into `dst` so that dst axis i is
+/// src axis perm[i] — the same operation as Tensor::permute without
+/// allocating a Tensor. `dst` must not alias `src`.
+void permute_into(const cplx* src, std::span<const std::size_t> shape,
+                  std::span<const std::size_t> perm, cplx* dst);
+
+/// Odometer walk used by permute_into / the plan executor: copy `total`
+/// elements into `dst` in row-major order of `out_shape`, reading `src` at
+/// the precomputed per-axis source strides. `idx` is caller-provided scratch
+/// of out_shape.size() entries (zeroed on entry by this function).
+void permute_walk(const cplx* src, std::span<const std::size_t> out_shape,
+                  std::span<const std::size_t> src_stride, cplx* dst, std::size_t total,
+                  std::size_t* idx);
+
 /// Partial trace: contract axis a with axis b of the same tensor
 /// (dimensions must match); the result drops both axes.
 Tensor trace_axes(const Tensor& t, std::size_t a, std::size_t b);

@@ -1,284 +1,26 @@
 #include "tn/contractor.hpp"
 
-#include <algorithm>
 #include <chrono>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 
-#include "tensor/contract.hpp"
+#include "tn/plan.hpp"
 
 namespace noisim::tn {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-/// Mutable working copy of the network during contraction.
-struct Work {
-  std::vector<tsr::Tensor> tensors;
-  std::vector<std::vector<EdgeId>> edges;
-  std::vector<bool> alive;
-  std::vector<std::size_t> version;
-  // Edge id -> alive node indices currently carrying it (size <= 2).
-  std::unordered_map<EdgeId, std::vector<std::size_t>> edge_nodes;
-  Clock::time_point deadline{};
-  bool has_deadline = false;
-  std::size_t max_elems = 0;
-  ContractStats* stats = nullptr;
-
-  explicit Work(const Network& net, const ContractOptions& opts, ContractStats* st) {
-    tensors.reserve(net.num_nodes());
-    edges.reserve(net.num_nodes());
-    for (std::size_t i = 0; i < net.num_nodes(); ++i) {
-      tensors.push_back(net.node(i).tensor);
-      edges.push_back(net.node(i).edges);
-      alive.push_back(true);
-      version.push_back(0);
-      for (EdgeId e : net.node(i).edges) edge_nodes[e].push_back(i);
-    }
-    max_elems = opts.max_tensor_elems;
-    if (opts.timeout_seconds > 0.0) {
-      has_deadline = true;
-      deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                    std::chrono::duration<double>(opts.timeout_seconds));
-    }
-    stats = st;
-  }
-
-  void check_deadline() const {
-    if (has_deadline && Clock::now() > deadline)
-      throw TimeoutError("tensor network contraction exceeded deadline");
-  }
-
-  std::size_t node_size(std::size_t i) const { return tensors[i].size(); }
-
-  /// Edges contracted when u and v merge (both endpoints inside {u, v}).
-  std::vector<EdgeId> shared_edges(std::size_t u, std::size_t v) const {
-    std::vector<EdgeId> shared;
-    const std::unordered_set<EdgeId> vset(edges[v].begin(), edges[v].end());
-    for (EdgeId e : edges[u])
-      if (vset.count(e)) shared.push_back(e);
-    return shared;
-  }
-
-  std::size_t result_size(std::size_t u, std::size_t v) const {
-    const std::unordered_set<EdgeId> uset(edges[u].begin(), edges[u].end());
-    const std::unordered_set<EdgeId> vset(edges[v].begin(), edges[v].end());
-    std::size_t size = 1;
-    for (std::size_t ax = 0; ax < edges[u].size(); ++ax)
-      if (!vset.count(edges[u][ax])) size *= tensors[u].dim(ax);
-    for (std::size_t ax = 0; ax < edges[v].size(); ++ax)
-      if (!uset.count(edges[v][ax])) size *= tensors[v].dim(ax);
-    return size;
-  }
-
-  /// Contract nodes u and v; returns the new node index.
-  std::size_t merge(std::size_t u, std::size_t v) {
-    check_deadline();
-    const std::vector<EdgeId> shared = shared_edges(u, v);
-
-    std::vector<std::size_t> axes_u, axes_v;
-    for (EdgeId e : shared) {
-      axes_u.push_back(static_cast<std::size_t>(
-          std::find(edges[u].begin(), edges[u].end(), e) - edges[u].begin()));
-      axes_v.push_back(static_cast<std::size_t>(
-          std::find(edges[v].begin(), edges[v].end(), e) - edges[v].begin()));
-    }
-
-    const std::size_t out_size = tsr::contract_result_size(tensors[u], axes_u, tensors[v], axes_v);
-    if (out_size > max_elems)
-      throw MemoryOutError("tensor network contraction exceeded memory budget (intermediate of " +
-                           std::to_string(out_size) + " elements)");
-
-    tsr::Tensor merged = tsr::contract(tensors[u], axes_u, tensors[v], axes_v);
-
-    // Result edge order mirrors contract(): u's free axes then v's free axes.
-    std::vector<EdgeId> merged_edges;
-    const std::unordered_set<EdgeId> removed(shared.begin(), shared.end());
-    for (EdgeId e : edges[u])
-      if (!removed.count(e)) merged_edges.push_back(e);
-    for (EdgeId e : edges[v])
-      if (!removed.count(e)) merged_edges.push_back(e);
-
-    alive[u] = alive[v] = false;
-    const std::size_t idx = tensors.size();
-    tensors.push_back(std::move(merged));
-    edges.push_back(merged_edges);
-    alive.push_back(true);
-    version.push_back(0);
-
-    for (EdgeId e : merged_edges) {
-      auto& owners = edge_nodes[e];
-      owners.erase(std::remove_if(owners.begin(), owners.end(),
-                                  [&](std::size_t n) { return n == u || n == v; }),
-                   owners.end());
-      owners.push_back(idx);
-    }
-    for (EdgeId e : shared) edge_nodes.erase(e);
-
-    if (stats) {
-      ++stats->num_pairwise;
-      stats->peak_elems = std::max(stats->peak_elems, out_size);
-    }
-    return idx;
-  }
-
-  std::vector<std::size_t> alive_nodes() const {
-    std::vector<std::size_t> out;
-    for (std::size_t i = 0; i < alive.size(); ++i)
-      if (alive[i]) out.push_back(i);
-    return out;
-  }
-
-  /// Neighbors of node i through shared edges.
-  std::vector<std::size_t> neighbors(std::size_t i) const {
-    std::vector<std::size_t> out;
-    for (EdgeId e : edges[i]) {
-      const auto it = edge_nodes.find(e);
-      if (it == edge_nodes.end()) continue;
-      for (std::size_t n : it->second)
-        if (n != i && alive[n]) out.push_back(n);
-    }
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-    return out;
-  }
-};
-
-struct Candidate {
-  double score;
-  std::size_t result;
-  std::size_t u, v;
-  std::size_t ver_u, ver_v;
-  bool operator>(const Candidate& o) const {
-    if (score != o.score) return score > o.score;
-    return result > o.result;
-  }
-};
-
-void greedy_contract(Work& w) {
-  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> heap;
-
-  auto push_pair = [&](std::size_t u, std::size_t v) {
-    if (u > v) std::swap(u, v);
-    const std::size_t rs = w.result_size(u, v);
-    const double score = static_cast<double>(rs) - static_cast<double>(w.node_size(u)) -
-                         static_cast<double>(w.node_size(v));
-    heap.push(Candidate{score, rs, u, v, w.version[u], w.version[v]});
-  };
-
-  for (std::size_t i = 0; i < w.tensors.size(); ++i)
-    if (w.alive[i])
-      for (std::size_t nb : w.neighbors(i))
-        if (nb > i) push_pair(i, nb);
-
-  bool saw_over_budget = false;
-  while (!heap.empty()) {
-    const Candidate c = heap.top();
-    heap.pop();
-    if (!w.alive[c.u] || !w.alive[c.v]) continue;
-    if (w.version[c.u] != c.ver_u || w.version[c.v] != c.ver_v) continue;
-    if (c.result > w.max_elems) {
-      saw_over_budget = true;
-      continue;
-    }
-    const std::size_t merged = w.merge(c.u, c.v);
-    for (std::size_t nb : w.neighbors(merged)) push_pair(merged, nb);
-  }
-
-  // Remaining alive nodes are mutually disconnected. If that is only because
-  // every connected pair was over budget, report MO rather than computing a
-  // wrong outer product.
-  std::vector<std::size_t> rest = w.alive_nodes();
-  for (std::size_t i = 0; i < rest.size(); ++i)
-    for (std::size_t j = i + 1; j < rest.size(); ++j)
-      if (!w.shared_edges(rest[i], rest[j]).empty()) {
-        if (saw_over_budget)
-          throw MemoryOutError("greedy contraction: all remaining pairs exceed memory budget");
-        la::detail::fail("greedy contraction: internal error, connected pair left behind");
-      }
-
-  // Fold disconnected components smallest-first (outer products).
-  while (true) {
-    rest = w.alive_nodes();
-    if (rest.size() <= 1) break;
-    std::sort(rest.begin(), rest.end(),
-              [&](std::size_t a, std::size_t b) { return w.node_size(a) < w.node_size(b); });
-    w.merge(rest[0], rest[1]);
-  }
-}
-
-void sequential_contract(Work& w, const std::vector<std::size_t>& sequence) {
-  std::vector<std::size_t> order = sequence;
-  if (order.empty()) {
-    order.resize(w.tensors.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  } else {
-    la::detail::require(order.size() == w.tensors.size(),
-                        "sequential contraction: sequence must cover all nodes");
-  }
-
-  std::size_t acc = order[0];
-  for (std::size_t i = 1; i < order.size(); ++i) acc = w.merge(acc, order[i]);
-}
-
-tsr::Tensor finish(Work& w, const Network& net) {
-  const std::vector<std::size_t> rest = w.alive_nodes();
-  la::detail::require(rest.size() == 1, "contract_network: empty network has no nodes");
-  tsr::Tensor result = std::move(w.tensors[rest[0]]);
-  const std::vector<EdgeId>& result_edges = w.edges[rest[0]];
-
-  // Deterministic output: permute axes to ascending open-edge order.
-  const std::vector<EdgeId> open = net.open_edges();
-  la::detail::require(open.size() == result_edges.size(),
-                      "contract_network: open edge bookkeeping mismatch");
-  std::vector<std::size_t> perm(open.size());
-  for (std::size_t i = 0; i < open.size(); ++i) {
-    const auto it = std::find(result_edges.begin(), result_edges.end(), open[i]);
-    la::detail::require(it != result_edges.end(), "contract_network: open edge missing");
-    perm[i] = static_cast<std::size_t>(it - result_edges.begin());
-  }
-  return result.permute(perm);
-}
-
-}  // namespace
-
+// One-shot contraction: compile a plan for the topology, replay it once.
+// All ordering logic lives in ContractionPlan::compile (tn/plan.cpp);
+// callers that contract many same-topology networks hold on to the plan
+// and replay it per instance instead of calling this.
 tsr::Tensor contract_network(const Network& net, const ContractOptions& opts,
                              ContractStats* stats) {
   if (net.num_nodes() == 0) return tsr::Tensor::scalar(cplx{1.0, 0.0});
+  using Clock = std::chrono::steady_clock;
   const auto started = Clock::now();
-  auto record_elapsed = [&](ContractStats* st) {
-    if (st)
-      st->elapsed_seconds = std::chrono::duration<double>(Clock::now() - started).count();
-  };
 
-  auto run = [&](OrderStrategy strat) {
-    Work w(net, opts, stats);
-    if (strat == OrderStrategy::Greedy)
-      greedy_contract(w);
-    else
-      sequential_contract(w, opts.custom_sequence);
-    tsr::Tensor out = finish(w, net);
-    record_elapsed(stats);
-    return out;
-  };
-
-  switch (opts.strategy) {
-    case OrderStrategy::Greedy:
-      return run(OrderStrategy::Greedy);
-    case OrderStrategy::Sequential:
-      return run(OrderStrategy::Sequential);
-    case OrderStrategy::Auto:
-      try {
-        return run(OrderStrategy::Greedy);
-      } catch (const MemoryOutError&) {
-        // Greedy painted itself into a corner; a time-ordered sweep can
-        // succeed on few-qubit deep circuits where greedy fails.
-        return run(OrderStrategy::Sequential);
-      }
-  }
-  la::detail::fail("contract_network: unknown strategy");
+  const ContractionPlan plan = ContractionPlan::compile(net, opts, stats);
+  if (stats)
+    stats->elapsed_seconds += std::chrono::duration<double>(Clock::now() - started).count();
+  PlanWorkspace ws;
+  return plan.execute(net, ws, stats);  // adds its own elapsed time
 }
 
 cplx contract_to_scalar(const Network& net, const ContractOptions& opts, ContractStats* stats) {

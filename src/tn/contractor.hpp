@@ -17,6 +17,11 @@
 // Guard rails: the contractor enforces a tensor-size budget and a wall-clock
 // deadline, throwing MemoryOutError / TimeoutError; the benchmark harness
 // maps these to the paper's "MO" / "TO" table entries.
+//
+// Since the plan/execute split, contract_network is a thin wrapper: it
+// compiles a ContractionPlan (tn/plan.hpp) for the network's topology and
+// replays it once. Callers contracting many networks that share a topology
+// should compile the plan themselves and replay it per instance.
 
 #include <cstddef>
 #include <vector>
@@ -32,17 +37,50 @@ struct ContractOptions {
   /// Maximum number of complex elements a single intermediate may hold.
   /// 2^26 elements = 1 GiB of complex<double>.
   std::size_t max_tensor_elems = std::size_t{1} << 26;
-  /// Wall-clock budget in seconds; 0 disables the deadline.
+  /// Wall-clock budget in seconds; 0 disables the deadline. Bounds the
+  /// whole planning phase (all strategy attempts of one compile share a
+  /// deadline) and, separately, each plan replay.
   double timeout_seconds = 0.0;
   /// When non-empty: node indices in the order Sequential should absorb
   /// them (must be a permutation of all node indices).
   std::vector<std::size_t> custom_sequence;
+  /// Budget for the plan's whole intermediate arena (the liveness-packed
+  /// workspace all intermediates live in), in complex elements; exceeding
+  /// it raises MemoryOutError at plan time. 0 disables the check --
+  /// max_tensor_elems alone then bounds the largest single intermediate.
+  std::size_t max_workspace_elems = 0;
+  /// Score weights the Greedy planner tries (score = result_size -
+  /// weight * (size_a + size_b)); the cheapest schedule by total flops
+  /// wins, earlier entries winning ties -- weight 1.0 (the classic
+  /// opt_einsum heuristic) leads so a different schedule is only chosen
+  /// when strictly cheaper. Every entry multiplies one-shot planning cost,
+  /// so the default stays at two; callers that compile once and replay
+  /// many times can afford a deeper ladder. Must be non-empty for
+  /// Greedy/Auto.
+  std::vector<double> greedy_cost_weights{1.0, 4.0};
 };
 
+/// Counters accumulate across calls sharing one ContractStats (peak_elems
+/// maxes); drivers that contract many same-topology networks report their
+/// aggregate through a single struct.
 struct ContractStats {
-  std::size_t num_pairwise = 0;   // pairwise contractions performed
-  std::size_t peak_elems = 0;     // largest intermediate produced
-  double elapsed_seconds = 0.0;
+  std::size_t num_pairwise = 0;     // pairwise contractions performed
+  std::size_t peak_elems = 0;       // largest intermediate produced
+  double elapsed_seconds = 0.0;     // total time planning + contracting
+  std::size_t plans_compiled = 0;   // contraction plans compiled (topology planning)
+  std::size_t plan_executions = 0;  // plan replays (one per network contraction)
+  std::size_t plan_reuse_hits = 0;  // replays that reused an already-executed plan
+
+  /// Fold another record into this one (counters add, peaks max) -- used
+  /// to aggregate per-worker stats deterministically.
+  void merge(const ContractStats& o) {
+    num_pairwise += o.num_pairwise;
+    peak_elems = peak_elems > o.peak_elems ? peak_elems : o.peak_elems;
+    elapsed_seconds += o.elapsed_seconds;
+    plans_compiled += o.plans_compiled;
+    plan_executions += o.plan_executions;
+    plan_reuse_hits += o.plan_reuse_hits;
+  }
 };
 
 /// Contract the whole network down to a single tensor whose axes are the

@@ -1,0 +1,565 @@
+#include "tn/plan.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+
+#include "tensor/contract.hpp"
+
+namespace noisim::tn {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Compile-time arena allocator: first-fit over a sorted free list with
+/// coalescing, so each intermediate gets a fixed offset and the high-water
+/// mark equals the peak live-intermediate footprint of the schedule.
+class ArenaLayout {
+ public:
+  std::size_t alloc(std::size_t elems) {
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].elems >= elems) {
+        const std::size_t offset = free_[i].offset;
+        free_[i].offset += elems;
+        free_[i].elems -= elems;
+        if (free_[i].elems == 0) free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+        return offset;
+      }
+    }
+    const std::size_t offset = end_;
+    end_ += elems;
+    return offset;
+  }
+
+  void release(std::size_t offset, std::size_t elems) {
+    if (elems == 0) return;
+    auto it = std::lower_bound(free_.begin(), free_.end(), offset,
+                               [](const Region& r, std::size_t o) { return r.offset < o; });
+    it = free_.insert(it, Region{offset, elems});
+    // Coalesce with the following region, then the preceding one.
+    const std::size_t i = static_cast<std::size_t>(it - free_.begin());
+    if (i + 1 < free_.size() && free_[i].offset + free_[i].elems == free_[i + 1].offset) {
+      free_[i].elems += free_[i + 1].elems;
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i + 1));
+    }
+    if (i > 0 && free_[i - 1].offset + free_[i - 1].elems == free_[i].offset) {
+      free_[i - 1].elems += free_[i].elems;
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+
+  std::size_t high_water() const { return end_; }
+
+ private:
+  struct Region {
+    std::size_t offset, elems;
+  };
+  std::vector<Region> free_;  // sorted by offset
+  std::size_t end_ = 0;
+};
+
+struct Candidate {
+  double score;
+  std::size_t result;
+  std::size_t u, v;
+  bool operator>(const Candidate& o) const {
+    if (score != o.score) return score > o.score;
+    return result > o.result;
+  }
+};
+
+}  // namespace
+
+/// Shape-and-edge-only replica of the contractor's working state: merges
+/// emit PlanSteps instead of performing arithmetic. The pairwise order,
+/// tie-breaking, and budget checks mirror the eager contractor exactly, so
+/// a compiled plan replays to bit-identical results.
+struct PlanCompiler {
+  struct MetaNode {
+    std::vector<EdgeId> edges;
+    std::vector<std::size_t> dims;
+    std::size_t elems = 1;
+  };
+
+  const ContractOptions& opts;
+  std::vector<MetaNode> nodes;  // indexed by slot
+  std::vector<bool> alive;
+  std::unordered_map<EdgeId, std::vector<std::size_t>> edge_nodes;
+  std::size_t num_inputs = 0;
+
+  std::vector<PlanStep> steps;
+  ArenaLayout arena;
+  std::vector<std::size_t> slot_offset;  // arena offset (intermediates only)
+  std::size_t peak = 0;
+  std::size_t flops = 0;  // sum of m*k*n over all steps (schedule cost)
+  std::size_t scratch_a = 0, scratch_b = 0;
+  std::size_t max_rank = 0;
+
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+
+  // `deadline` is shared by every planning attempt of one compile() call
+  // (all greedy cost weights plus the Auto fallback), so timeout_seconds
+  // bounds total planning time, not each attempt.
+  PlanCompiler(const Network& net, const ContractOptions& o, Clock::time_point shared_deadline,
+               bool deadline_set)
+      : opts(o), deadline(shared_deadline), has_deadline(deadline_set) {
+    num_inputs = net.num_nodes();
+    nodes.reserve(num_inputs);
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      MetaNode mn;
+      mn.edges = net.node(i).edges;
+      mn.dims.assign(net.node(i).tensor.shape().begin(), net.node(i).tensor.shape().end());
+      mn.elems = net.node(i).tensor.size();
+      for (EdgeId e : mn.edges) edge_nodes[e].push_back(i);
+      nodes.push_back(std::move(mn));
+      alive.push_back(true);
+      slot_offset.push_back(0);
+    }
+  }
+
+  void check_deadline() const {
+    if (has_deadline && Clock::now() > deadline)
+      throw TimeoutError("tensor network contraction exceeded deadline");
+  }
+
+  bool connected(std::size_t u, std::size_t v) const {
+    for (EdgeId e : nodes[u].edges)
+      if (std::find(nodes[v].edges.begin(), nodes[v].edges.end(), e) != nodes[v].edges.end())
+        return true;
+    return false;
+  }
+
+  /// Product of the dims shared between u and v (edge lists are tiny, so a
+  /// linear scan beats hashing; this is the memoization-friendly scorer --
+  /// only pairs adjacent to a merge are ever (re)scored).
+  std::size_t shared_dims(std::size_t u, std::size_t v) const {
+    std::size_t prod = 1;
+    for (std::size_t ax = 0; ax < nodes[u].edges.size(); ++ax) {
+      const EdgeId e = nodes[u].edges[ax];
+      if (std::find(nodes[v].edges.begin(), nodes[v].edges.end(), e) != nodes[v].edges.end())
+        prod *= nodes[u].dims[ax];
+    }
+    return prod;
+  }
+
+  std::size_t result_size(std::size_t u, std::size_t v) const {
+    const std::size_t shared = shared_dims(u, v);
+    return (nodes[u].elems / shared) * (nodes[v].elems / shared);
+  }
+
+  std::vector<std::size_t> neighbors(std::size_t i) const {
+    std::vector<std::size_t> out;
+    for (EdgeId e : nodes[i].edges) {
+      const auto it = edge_nodes.find(e);
+      if (it == edge_nodes.end()) continue;
+      for (std::size_t n : it->second)
+        if (n != i && alive[n]) out.push_back(n);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  std::vector<std::size_t> alive_nodes() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < alive.size(); ++i)
+      if (alive[i]) out.push_back(i);
+    return out;
+  }
+
+  /// Plan the contraction of slots u and v; returns the new slot index.
+  std::size_t merge(std::size_t u, std::size_t v) {
+    check_deadline();
+    const MetaNode& nu = nodes[u];
+    const MetaNode& nv = nodes[v];
+
+    // Shared edges in u-axis order; v axes located per shared edge -- the
+    // same pairing the eager contractor fed to tsr::contract.
+    std::vector<std::size_t> axes_u, axes_v, free_a, free_b;
+    for (std::size_t ax = 0; ax < nu.edges.size(); ++ax) {
+      const auto it = std::find(nv.edges.begin(), nv.edges.end(), nu.edges[ax]);
+      if (it != nv.edges.end()) {
+        axes_u.push_back(ax);
+        axes_v.push_back(static_cast<std::size_t>(it - nv.edges.begin()));
+      } else {
+        free_a.push_back(ax);
+      }
+    }
+    for (std::size_t ax = 0; ax < nv.edges.size(); ++ax)
+      if (std::find(axes_v.begin(), axes_v.end(), ax) == axes_v.end()) free_b.push_back(ax);
+
+    PlanStep step;
+    step.lhs = u;
+    step.rhs = v;
+    step.a_elems = nu.elems;
+    step.b_elems = nv.elems;
+
+    MetaNode merged;
+    for (std::size_t ax : free_a) {
+      step.m *= nu.dims[ax];
+      merged.edges.push_back(nu.edges[ax]);
+      merged.dims.push_back(nu.dims[ax]);
+    }
+    for (std::size_t ax : axes_u) step.k *= nu.dims[ax];
+    for (std::size_t ax : free_b) {
+      step.n *= nv.dims[ax];
+      merged.edges.push_back(nv.edges[ax]);
+      merged.dims.push_back(nv.dims[ax]);
+    }
+    merged.elems = step.m * step.n;
+    step.out_elems = merged.elems;
+
+    if (step.out_elems > opts.max_tensor_elems)
+      throw MemoryOutError("tensor network contraction exceeded memory budget (intermediate of " +
+                           std::to_string(step.out_elems) + " elements)");
+
+    // Operand permutations: lhs to [free..., contracted...], rhs to
+    // [contracted..., free...]. Identity permutations are recorded as
+    // in-place reads (no scratch, no copy at execution).
+    std::vector<std::size_t> perm_a = free_a;
+    perm_a.insert(perm_a.end(), axes_u.begin(), axes_u.end());
+    std::vector<std::size_t> perm_b = axes_v;
+    perm_b.insert(perm_b.end(), free_b.begin(), free_b.end());
+
+    step.identity_a = tsr::is_identity_permutation(perm_a);
+    if (!step.identity_a) {
+      const std::vector<std::size_t> strides = tsr::row_major_strides(nu.dims);
+      for (std::size_t p : perm_a) {
+        step.a_perm_shape.push_back(nu.dims[p]);
+        step.a_src_stride.push_back(strides[p]);
+      }
+      scratch_a = std::max(scratch_a, nu.elems);
+      max_rank = std::max(max_rank, perm_a.size());
+    }
+    step.identity_b = tsr::is_identity_permutation(perm_b);
+    if (!step.identity_b) {
+      const std::vector<std::size_t> strides = tsr::row_major_strides(nv.dims);
+      for (std::size_t p : perm_b) {
+        step.b_perm_shape.push_back(nv.dims[p]);
+        step.b_src_stride.push_back(strides[p]);
+      }
+      scratch_b = std::max(scratch_b, nv.elems);
+      max_rank = std::max(max_rank, perm_b.size());
+    }
+
+    // Arena: the output region is claimed while both operands are still
+    // live (no overlap), then consumed operand regions are recycled.
+    step.out_offset = arena.alloc(step.out_elems);
+    if (opts.max_workspace_elems > 0 && arena.high_water() > opts.max_workspace_elems)
+      throw MemoryOutError("contraction plan workspace exceeded budget (arena of " +
+                           std::to_string(arena.high_water()) + " elements)");
+    if (u >= num_inputs) arena.release(slot_offset[u], nodes[u].elems);
+    if (v >= num_inputs) arena.release(slot_offset[v], nodes[v].elems);
+
+    peak = std::max(peak, step.out_elems);
+    flops += step.m * step.k * step.n;
+
+    alive[u] = alive[v] = false;
+    const std::size_t idx = nodes.size();
+    for (EdgeId e : merged.edges) {
+      auto& owners = edge_nodes[e];
+      owners.erase(std::remove_if(owners.begin(), owners.end(),
+                                  [&](std::size_t n) { return n == u || n == v; }),
+                   owners.end());
+      owners.push_back(idx);
+    }
+    for (std::size_t ax : axes_u) edge_nodes.erase(nu.edges[ax]);
+
+    slot_offset.push_back(step.out_offset);
+    nodes.push_back(std::move(merged));
+    alive.push_back(true);
+    steps.push_back(std::move(step));
+    return idx;
+  }
+
+  /// Greedy ordering with score = result - alpha * (size_a + size_b).
+  /// alpha = 1 is the classic opt_einsum heuristic; larger alphas favor
+  /// consuming big operands early, which on grid-like layers often yields
+  /// far cheaper schedules. compile() tries a deterministic alpha ladder
+  /// and keeps the cheapest plan -- planning runs once per topology, so the
+  /// extra search amortizes over every replay.
+  void greedy(double alpha) {
+    std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> heap;
+
+    auto push_pair = [&](std::size_t u, std::size_t v) {
+      if (u > v) std::swap(u, v);
+      const std::size_t rs = result_size(u, v);
+      const double score = static_cast<double>(rs) -
+                           alpha * (static_cast<double>(nodes[u].elems) +
+                                    static_cast<double>(nodes[v].elems));
+      heap.push(Candidate{score, rs, u, v});
+    };
+
+    for (std::size_t i = 0; i < num_inputs; ++i)
+      if (alive[i])
+        for (std::size_t nb : neighbors(i))
+          if (nb > i) push_pair(i, nb);
+
+    bool saw_over_budget = false;
+    while (!heap.empty()) {
+      const Candidate c = heap.top();
+      heap.pop();
+      if (!alive[c.u] || !alive[c.v]) continue;
+      if (c.result > opts.max_tensor_elems) {
+        saw_over_budget = true;
+        continue;
+      }
+      const std::size_t merged = merge(c.u, c.v);
+      for (std::size_t nb : neighbors(merged)) push_pair(merged, nb);
+    }
+
+    // Remaining alive nodes are mutually disconnected. If that is only
+    // because every connected pair was over budget, report MO rather than
+    // planning a wrong outer product.
+    std::vector<std::size_t> rest = alive_nodes();
+    for (std::size_t i = 0; i < rest.size(); ++i)
+      for (std::size_t j = i + 1; j < rest.size(); ++j)
+        if (connected(rest[i], rest[j])) {
+          if (saw_over_budget)
+            throw MemoryOutError("greedy contraction: all remaining pairs exceed memory budget");
+          la::detail::fail("greedy contraction: internal error, connected pair left behind");
+        }
+
+    // Fold disconnected components smallest-first (outer products).
+    while (true) {
+      rest = alive_nodes();
+      if (rest.size() <= 1) break;
+      std::sort(rest.begin(), rest.end(),
+                [&](std::size_t a, std::size_t b) { return nodes[a].elems < nodes[b].elems; });
+      merge(rest[0], rest[1]);
+    }
+  }
+
+  void sequential(const std::vector<std::size_t>& sequence) {
+    std::vector<std::size_t> order = sequence;
+    if (order.empty()) {
+      order.resize(num_inputs);
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    } else {
+      la::detail::require(order.size() == num_inputs,
+                          "sequential contraction: sequence must cover all nodes");
+      for (std::size_t i : order)
+        la::detail::require(i < num_inputs, "sequential contraction: sequence index out of range");
+    }
+    std::size_t acc = order[0];
+    for (std::size_t i = 1; i < order.size(); ++i) acc = merge(acc, order[i]);
+  }
+
+  ContractionPlan finalize(const Network& net) {
+    const std::vector<std::size_t> rest = alive_nodes();
+    la::detail::require(rest.size() == 1, "contract plan: network did not reduce to one node");
+    const MetaNode& result = nodes[rest[0]];
+
+    ContractionPlan plan;
+    plan.steps_ = std::move(steps);
+    plan.input_elems_.reserve(num_inputs);
+    for (std::size_t i = 0; i < num_inputs; ++i) plan.input_elems_.push_back(nodes[i].elems);
+    plan.arena_elems_ = arena.high_water();
+    plan.scratch_a_elems_ = scratch_a;
+    plan.scratch_b_elems_ = scratch_b;
+    plan.peak_elems_ = peak;
+    plan.total_flops_ = flops;
+    plan.timeout_seconds_ = opts.timeout_seconds;
+    plan.executions_ = std::make_shared<std::atomic<std::size_t>>(0);
+
+    // Deterministic output: axes in ascending open-edge order.
+    const std::vector<EdgeId> open = net.open_edges();
+    la::detail::require(open.size() == result.edges.size(),
+                        "contract plan: open edge bookkeeping mismatch");
+    std::vector<std::size_t> perm(open.size());
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      const auto it = std::find(result.edges.begin(), result.edges.end(), open[i]);
+      la::detail::require(it != result.edges.end(), "contract plan: open edge missing");
+      perm[i] = static_cast<std::size_t>(it - result.edges.begin());
+    }
+    plan.output_identity_ = tsr::is_identity_permutation(perm);
+    const std::vector<std::size_t> strides = tsr::row_major_strides(result.dims);
+    for (std::size_t p : perm) {
+      plan.output_shape_.push_back(result.dims[p]);
+      if (!plan.output_identity_) plan.output_src_stride_.push_back(strides[p]);
+    }
+    if (!plan.output_identity_) max_rank = std::max(max_rank, perm.size());
+    plan.max_rank_ = max_rank;
+    return plan;
+  }
+};
+
+ContractionPlan ContractionPlan::compile(const Network& net, const ContractOptions& opts,
+                                         ContractStats* stats) {
+  la::detail::require(net.num_nodes() > 0, "ContractionPlan: empty network has no nodes");
+
+  // One deadline across every planning attempt below, so timeout_seconds
+  // bounds the whole compile (each replay later gets its own budget).
+  Clock::time_point deadline{};
+  const bool has_deadline = opts.timeout_seconds > 0.0;
+  if (has_deadline)
+    deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(opts.timeout_seconds));
+
+  auto build_sequential = [&] {
+    PlanCompiler compiler(net, opts, deadline, has_deadline);
+    compiler.sequential(opts.custom_sequence);
+    ContractionPlan plan = compiler.finalize(net);
+    if (stats) ++stats->plans_compiled;
+    return plan;
+  };
+
+  // Greedy = a deterministic ladder of score weights; keep the cheapest
+  // schedule by (total flops, peak intermediate). Planning happens once per
+  // topology while the plan replays per term, so a several-fold deeper
+  // search at plan time is almost free -- and routinely finds schedules
+  // several times cheaper than the single alpha = 1 heuristic.
+  auto build_greedy = [&]() -> ContractionPlan {
+    ContractionPlan best;
+    bool have_best = false;
+    bool saw_memory_out = false;
+    for (const double alpha : opts.greedy_cost_weights) {
+      try {
+        PlanCompiler compiler(net, opts, deadline, has_deadline);
+        compiler.greedy(alpha);
+        ContractionPlan plan = compiler.finalize(net);
+        if (!have_best || plan.total_flops_ < best.total_flops_ ||
+            (plan.total_flops_ == best.total_flops_ && plan.peak_elems_ < best.peak_elems_)) {
+          best = std::move(plan);
+          have_best = true;
+        }
+      } catch (const MemoryOutError&) {
+        saw_memory_out = true;  // other weights may still fit the budget
+      }
+    }
+    if (!have_best) {
+      la::detail::require(saw_memory_out, "ContractionPlan: no greedy cost weights configured");
+      throw MemoryOutError("tensor network contraction exceeded memory budget for every "
+                           "greedy cost weight");
+    }
+    if (stats) ++stats->plans_compiled;
+    return best;
+  };
+
+  switch (opts.strategy) {
+    case OrderStrategy::Greedy:
+      return build_greedy();
+    case OrderStrategy::Sequential:
+      return build_sequential();
+    case OrderStrategy::Auto:
+      try {
+        return build_greedy();
+      } catch (const MemoryOutError&) {
+        // Greedy painted itself into a corner; a time-ordered sweep can
+        // succeed on few-qubit deep circuits where greedy fails.
+        return build_sequential();
+      }
+  }
+  la::detail::fail("ContractionPlan: unknown strategy");
+}
+
+const cplx* ContractionPlan::slot_data(std::size_t slot,
+                                       std::span<const tsr::Tensor* const> inputs,
+                                       const PlanWorkspace& ws) const {
+  if (slot < inputs.size()) return inputs[slot]->data();
+  return ws.arena.data() + steps_[slot - inputs.size()].out_offset;
+}
+
+tsr::Tensor ContractionPlan::execute(std::span<const tsr::Tensor* const> inputs,
+                                     PlanWorkspace& ws, ContractStats* stats) const {
+  la::detail::require(inputs.size() == input_elems_.size(),
+                      "ContractionPlan::execute: input count mismatch");
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    la::detail::require(inputs[i]->size() == input_elems_[i],
+                        "ContractionPlan::execute: input tensor size mismatch");
+
+  const auto started = Clock::now();
+  Clock::time_point deadline{};
+  const bool has_deadline = timeout_seconds_ > 0.0;
+  if (has_deadline)
+    deadline = started + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(timeout_seconds_));
+
+  ws.arena.resize(arena_elems_);
+  ws.scratch_a.resize(scratch_a_elems_);
+  ws.scratch_b.resize(scratch_b_elems_);
+  ws.idx.resize(max_rank_);
+
+  for (const PlanStep& step : steps_) {
+    if (has_deadline && Clock::now() > deadline)
+      throw TimeoutError("tensor network contraction exceeded deadline");
+    const cplx* pa = slot_data(step.lhs, inputs, ws);
+    if (!step.identity_a) {
+      tsr::permute_walk(pa, step.a_perm_shape, step.a_src_stride, ws.scratch_a.data(),
+                        step.a_elems, ws.idx.data());
+      pa = ws.scratch_a.data();
+    }
+    const cplx* pb = slot_data(step.rhs, inputs, ws);
+    if (!step.identity_b) {
+      tsr::permute_walk(pb, step.b_perm_shape, step.b_src_stride, ws.scratch_b.data(),
+                        step.b_elems, ws.idx.data());
+      pb = ws.scratch_b.data();
+    }
+    cplx* out = ws.arena.data() + step.out_offset;
+    std::fill(out, out + step.out_elems, cplx{0.0, 0.0});
+    tsr::detail::matmul_accumulate(pa, pb, out, step.m, step.k, step.n);
+  }
+
+  // Materialize the result with axes in ascending open-edge order.
+  const cplx* src =
+      steps_.empty() ? inputs[0]->data() : ws.arena.data() + steps_.back().out_offset;
+  tsr::Tensor result(output_shape_);
+  if (output_identity_)
+    std::copy(src, src + result.size(), result.data());
+  else
+    tsr::permute_walk(src, output_shape_, output_src_stride_, result.data(), result.size(),
+                      ws.idx.data());
+
+  const std::size_t prior = executions_->fetch_add(1, std::memory_order_relaxed);
+  if (stats) {
+    stats->num_pairwise += steps_.size();
+    stats->peak_elems = std::max(stats->peak_elems, peak_elems_);
+    ++stats->plan_executions;
+    if (prior > 0) ++stats->plan_reuse_hits;
+    stats->elapsed_seconds += std::chrono::duration<double>(Clock::now() - started).count();
+  }
+  return result;
+}
+
+tsr::Tensor ContractionPlan::execute(const Network& net, PlanWorkspace& ws,
+                                     ContractStats* stats) const {
+  ws.input_ptrs.clear();
+  ws.input_ptrs.reserve(net.num_nodes());
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) ws.input_ptrs.push_back(&net.node(i).tensor);
+  return execute(std::span<const tsr::Tensor* const>(ws.input_ptrs), ws, stats);
+}
+
+std::string ContractionPlan::fingerprint() const {
+  std::ostringstream os;
+  os << "inputs:" << input_elems_.size() << ";arena:" << arena_elems_ << ";peak:" << peak_elems_;
+  for (const PlanStep& s : steps_) {
+    os << "|" << s.lhs << "x" << s.rhs << ":" << s.m << "," << s.k << "," << s.n << "@"
+       << s.out_offset;
+    os << ";pa=";
+    if (s.identity_a)
+      os << "id";
+    else
+      for (std::size_t i = 0; i < s.a_perm_shape.size(); ++i)
+        os << s.a_perm_shape[i] << "/" << s.a_src_stride[i] << (i + 1 < s.a_perm_shape.size() ? "," : "");
+    os << ";pb=";
+    if (s.identity_b)
+      os << "id";
+    else
+      for (std::size_t i = 0; i < s.b_perm_shape.size(); ++i)
+        os << s.b_perm_shape[i] << "/" << s.b_src_stride[i] << (i + 1 < s.b_perm_shape.size() ? "," : "");
+  }
+  os << "|out:";
+  if (output_identity_)
+    os << "id";
+  else
+    for (std::size_t i = 0; i < output_shape_.size(); ++i)
+      os << output_shape_[i] << "/" << output_src_stride_[i]
+         << (i + 1 < output_shape_.size() ? "," : "");
+  return os.str();
+}
+
+}  // namespace noisim::tn

@@ -1,0 +1,114 @@
+#pragma once
+// Compiled contraction plans: planning (pairwise order, axis pairing,
+// permutations, workspace layout) is split from execution (the arithmetic).
+//
+// A plan is a pure function of the network's *topology* -- node shapes and
+// edge structure; tensor contents never enter planning. Compiling once and
+// replaying against fresh tensor contents is what makes Algorithm 1 cheap:
+// every enumerated term's single-layer network shares one topology and
+// differs only in the tensors at the chosen noise sites, so the l-level
+// sweep costs O(plan + terms x replay) instead of O(terms x (plan + contract)).
+//
+// Execution is allocation-free in steady state: all intermediates live in a
+// liveness-packed arena inside a caller-owned PlanWorkspace (one per
+// thread), operand permutations are precomputed stride walks into reused
+// scratch buffers (skipped entirely when the permutation is the identity),
+// and the pairwise kernel is the cache-blocked matmul of tensor/contract.hpp.
+// Replaying a plan is bit-identical to contracting the network from scratch
+// with the same options.
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tn/contractor.hpp"
+
+namespace noisim::tn {
+
+/// One pairwise contraction of a compiled plan. Slots 0..num_inputs-1 are
+/// the network's nodes (in node-index order); slot num_inputs + s is the
+/// output of step s.
+struct PlanStep {
+  std::size_t lhs = 0, rhs = 0;  // operand slots
+  // Precomputed permutation walks bringing lhs to [free..., contracted...]
+  // and rhs to [contracted..., free...]; empty when the permutation is the
+  // identity (the operand is used in place, no copy).
+  bool identity_a = true, identity_b = true;
+  std::vector<std::size_t> a_perm_shape, a_src_stride;
+  std::vector<std::size_t> b_perm_shape, b_src_stride;
+  std::size_t a_elems = 1, b_elems = 1;  // operand sizes (scratch sizing)
+  std::size_t m = 1, k = 1, n = 1;       // matrix-shaped contraction dims
+  std::size_t out_offset = 0;            // element offset into the arena
+  std::size_t out_elems = 1;
+};
+
+/// Per-thread scratch a plan executes in: the intermediate arena plus the
+/// permutation scratch buffers. Buffers only grow, so replaying a plan
+/// through the same workspace allocates nothing in steady state.
+struct PlanWorkspace {
+  std::vector<cplx> arena;
+  std::vector<cplx> scratch_a, scratch_b;
+  std::vector<std::size_t> idx;                // odometer scratch
+  std::vector<const tsr::Tensor*> input_ptrs;  // for execute(const Network&)
+};
+
+class ContractionPlan {
+ public:
+  /// Compile a plan for the network's topology. Ordering follows
+  /// opts.strategy exactly as contract_network does (Auto = Greedy with a
+  /// Sequential fallback on memory-out). Throws MemoryOutError when any
+  /// intermediate exceeds opts.max_tensor_elems (or the arena exceeds
+  /// opts.max_workspace_elems) and TimeoutError past opts.timeout_seconds,
+  /// so MO/TO surface at plan time, before any arithmetic runs.
+  static ContractionPlan compile(const Network& net, const ContractOptions& opts = {},
+                                 ContractStats* stats = nullptr);
+
+  /// Replay the plan against the tensors of `net` (topology must match the
+  /// compiled one; sizes are checked).
+  tsr::Tensor execute(const Network& net, PlanWorkspace& ws, ContractStats* stats = nullptr) const;
+
+  /// Replay against substituted contents: inputs[i] stands in for node i.
+  /// Thread-safe; concurrent replays need distinct workspaces.
+  tsr::Tensor execute(std::span<const tsr::Tensor* const> inputs, PlanWorkspace& ws,
+                      ContractStats* stats = nullptr) const;
+
+  const std::vector<PlanStep>& steps() const { return steps_; }
+  std::size_t num_inputs() const { return input_elems_.size(); }
+  /// Largest single intermediate (elements).
+  std::size_t peak_elems() const { return peak_elems_; }
+  /// Schedule cost: sum of m*k*n over all pairwise steps.
+  std::size_t total_flops() const { return total_flops_; }
+  /// Arena high-water mark (elements): peak memory of all live
+  /// intermediates under the liveness-packed layout.
+  std::size_t workspace_elems() const { return arena_elems_; }
+  /// Printable digest of the full schedule; equal topologies compile to
+  /// equal fingerprints (plan determinism).
+  std::string fingerprint() const;
+
+ private:
+  ContractionPlan() = default;
+
+  const cplx* slot_data(std::size_t slot, std::span<const tsr::Tensor* const> inputs,
+                        const PlanWorkspace& ws) const;
+
+  std::vector<PlanStep> steps_;
+  std::vector<std::size_t> input_elems_;  // expected size per input node
+  std::size_t arena_elems_ = 0;
+  std::size_t scratch_a_elems_ = 0, scratch_b_elems_ = 0;
+  std::size_t max_rank_ = 0;
+  std::size_t peak_elems_ = 0;
+  std::size_t total_flops_ = 0;
+  // Final axis reorder to ascending open-edge order.
+  bool output_identity_ = true;
+  std::vector<std::size_t> output_shape_;
+  std::vector<std::size_t> output_src_stride_;
+  double timeout_seconds_ = 0.0;
+  // Replay counter for plan-reuse accounting; shared so plans stay movable.
+  std::shared_ptr<std::atomic<std::size_t>> executions_;
+
+  friend struct PlanCompiler;
+};
+
+}  // namespace noisim::tn

@@ -1,0 +1,281 @@
+// Tests for the plan/execute contraction engine: plan determinism,
+// replay equivalence (including the Algorithm-1 substitution path), and
+// MO/TO surfacing at plan time.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bench_support/generators.hpp"
+#include "bench_support/harness.hpp"
+#include "core/approx.hpp"
+#include "core/trajectories_tn.hpp"
+#include "tn/contractor.hpp"
+#include "tn/plan.hpp"
+
+namespace noisim::tn {
+namespace {
+
+using tsr::Tensor;
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::mt19937_64& rng) {
+  Tensor t(std::move(shape));
+  std::normal_distribution<double> gauss;
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = cplx{gauss(rng), gauss(rng)};
+  return t;
+}
+
+/// The ladder network from the contractor tests: two rails with rungs,
+/// nontrivial enough that greedy ordering makes real choices.
+Network ladder_network(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Network net;
+  std::vector<EdgeId> rail_a, rail_b, rungs;
+  for (int i = 0; i < 5; ++i) {
+    rail_a.push_back(net.new_edge());
+    rail_b.push_back(net.new_edge());
+  }
+  for (int i = 0; i < 5; ++i) rungs.push_back(net.new_edge());
+  net.add_node(random_tensor({2, 2}, rng), {rail_a[0], rail_b[0]});
+  for (int i = 0; i < 4; ++i) {
+    net.add_node(random_tensor({2, 2, 2}, rng), {rail_a[i], rail_a[i + 1], rungs[i]});
+    net.add_node(random_tensor({2, 2, 2}, rng), {rail_b[i], rail_b[i + 1], rungs[i]});
+  }
+  net.add_node(random_tensor({2, 2, 2}, rng), {rail_a[4], rail_b[4], rungs[4]});
+  net.add_node(random_tensor({2}, rng), {rungs[4]});
+  return net;
+}
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+TEST(Plan, SameTopologyCompilesToIdenticalPlans) {
+  // Different tensor *contents*, same topology: plans must be identical.
+  const Network net_a = ladder_network(1);
+  const Network net_b = ladder_network(99);
+  for (OrderStrategy strat : {OrderStrategy::Greedy, OrderStrategy::Sequential}) {
+    ContractOptions opts;
+    opts.strategy = strat;
+    const ContractionPlan pa = ContractionPlan::compile(net_a, opts);
+    const ContractionPlan pb = ContractionPlan::compile(net_b, opts);
+    EXPECT_EQ(pa.fingerprint(), pb.fingerprint());
+    EXPECT_EQ(pa.steps().size(), net_a.num_nodes() - 1);
+  }
+}
+
+TEST(Plan, ReplayMatchesContractNetworkBitwise) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Network net = ladder_network(seed);
+    for (OrderStrategy strat : {OrderStrategy::Greedy, OrderStrategy::Sequential}) {
+      ContractOptions opts;
+      opts.strategy = strat;
+      const Tensor eager = contract_network(net, opts);
+      const ContractionPlan plan = ContractionPlan::compile(net, opts);
+      PlanWorkspace ws;
+      // Replaying twice through one workspace must also be stable.
+      const Tensor once = plan.execute(net, ws);
+      const Tensor twice = plan.execute(net, ws);
+      EXPECT_TRUE(same_bits(eager, once));
+      EXPECT_TRUE(same_bits(once, twice));
+    }
+  }
+}
+
+TEST(Plan, ReplaysAgainstSubstitutedContents) {
+  // Plan compiled from one instance, replayed against another instance of
+  // the same topology: must match planning that instance from scratch.
+  const Network plan_net = ladder_network(7);
+  const Network other = ladder_network(8);
+  const ContractionPlan plan = ContractionPlan::compile(plan_net);
+  PlanWorkspace ws;
+  std::vector<const Tensor*> inputs;
+  for (std::size_t i = 0; i < other.num_nodes(); ++i) inputs.push_back(&other.node(i).tensor);
+  const Tensor replayed = plan.execute(inputs, ws);
+  const Tensor eager = contract_network(other);
+  EXPECT_TRUE(same_bits(eager, replayed));
+}
+
+TEST(Plan, StatsCountCompilationsAndReuse) {
+  const Network net = ladder_network(3);
+  ContractStats stats;
+  const ContractionPlan plan = ContractionPlan::compile(net, {}, &stats);
+  EXPECT_EQ(stats.plans_compiled, 1u);
+  EXPECT_EQ(stats.plan_executions, 0u);
+  PlanWorkspace ws;
+  plan.execute(net, ws, &stats);
+  plan.execute(net, ws, &stats);
+  plan.execute(net, ws, &stats);
+  EXPECT_EQ(stats.plan_executions, 3u);
+  EXPECT_EQ(stats.plan_reuse_hits, 2u);
+  EXPECT_EQ(stats.num_pairwise, 3 * plan.steps().size());
+  EXPECT_GE(stats.peak_elems, 1u);
+}
+
+TEST(Plan, ContractNetworkReportsPlanStats) {
+  const Network net = ladder_network(4);
+  ContractStats stats;
+  contract_network(net, {}, &stats);
+  EXPECT_EQ(stats.plans_compiled, 1u);
+  EXPECT_EQ(stats.plan_executions, 1u);
+  EXPECT_EQ(stats.plan_reuse_hits, 0u);
+}
+
+TEST(Plan, WorkspaceAccountingIsBounded) {
+  const Network net = ladder_network(5);
+  const ContractionPlan plan = ContractionPlan::compile(net);
+  // The liveness-packed arena can never beat the largest intermediate but
+  // must stay below the sum of all step outputs (regions are recycled).
+  std::size_t total = 0;
+  for (const PlanStep& s : plan.steps()) total += s.out_elems;
+  EXPECT_GE(plan.workspace_elems(), plan.peak_elems());
+  EXPECT_LT(plan.workspace_elems(), total);
+}
+
+TEST(Plan, WorkspaceBudgetThrowsMemoryOut) {
+  const Network net = ladder_network(6);
+  ContractOptions opts;
+  opts.max_workspace_elems = 2;  // far below any real arena
+  EXPECT_THROW(ContractionPlan::compile(net, opts), MemoryOutError);
+}
+
+Network over_budget_network(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Network net;
+  std::vector<EdgeId> open_edges;
+  EdgeId spine_prev = net.new_edge();
+  net.add_node(random_tensor({2}, rng), {spine_prev});
+  for (int i = 0; i < 20; ++i) {
+    const EdgeId spine_next = net.new_edge();
+    const EdgeId leaf = net.new_edge();
+    net.add_node(random_tensor({2, 2, 2}, rng), {spine_prev, spine_next, leaf});
+    open_edges.push_back(leaf);
+    spine_prev = spine_next;
+  }
+  net.add_node(random_tensor({2}, rng), {spine_prev});
+  return net;
+}
+
+TEST(Plan, PlanTimeMemoryOutMapsToMO) {
+  // MO now surfaces while *planning* (before any arithmetic); the harness
+  // must still map it to the paper's "MO" table entry.
+  const Network net = over_budget_network(10);
+  ContractOptions opts;
+  opts.max_tensor_elems = 1 << 10;
+  EXPECT_THROW(ContractionPlan::compile(net, opts), MemoryOutError);
+  const bench::RunOutcome out = bench::run_guarded([&] {
+    ContractionPlan::compile(net, opts);
+    return 0.0;
+  });
+  EXPECT_EQ(out.status, bench::RunOutcome::Status::MemoryOut);
+  EXPECT_EQ(bench::format_time(out), "MO");
+}
+
+TEST(Plan, PlanTimeTimeoutMapsToTO) {
+  const Network net = ladder_network(11);
+  ContractOptions opts;
+  opts.timeout_seconds = 1e-12;
+  EXPECT_THROW(ContractionPlan::compile(net, opts), TimeoutError);
+  const bench::RunOutcome out = bench::run_guarded([&] {
+    ContractionPlan::compile(net, opts);
+    return 0.0;
+  });
+  EXPECT_EQ(out.status, bench::RunOutcome::Status::Timeout);
+  EXPECT_EQ(bench::format_time(out), "TO");
+}
+
+}  // namespace
+}  // namespace noisim::tn
+
+namespace noisim::core {
+namespace {
+
+/// Fig. 4 workload, scaled to test size: hardware-grid QAOA with realistic
+/// injected noise, evaluated through the tensor-network backend.
+ch::NoisyCircuit fig4_workload(int n, std::size_t noises) {
+  const qc::Circuit circuit = bench::qaoa(n, 1, 77);
+  return bench::insert_noises(circuit, noises, bench::realistic_noise(), 500 + noises);
+}
+
+ApproxOptions tn_opts(std::size_t level, bool reuse, std::size_t threads) {
+  ApproxOptions opts;
+  opts.level = level;
+  opts.threads = threads;
+  opts.reuse_plans = reuse;
+  opts.eval.backend = EvalOptions::Backend::TensorNetwork;
+  return opts;
+}
+
+void expect_same_bits(const ApproxResult& a, const ApproxResult& b) {
+  EXPECT_EQ(a.raw.real(), b.raw.real());
+  EXPECT_EQ(a.raw.imag(), b.raw.imag());
+  ASSERT_EQ(a.level_values.size(), b.level_values.size());
+  for (std::size_t i = 0; i < a.level_values.size(); ++i)
+    EXPECT_EQ(a.level_values[i], b.level_values[i]);
+}
+
+TEST(PlanReplay, ApproxBitIdenticalToPerTermPlanningLevels0To2) {
+  const ch::NoisyCircuit nc = fig4_workload(16, 3);
+  for (std::size_t level = 0; level <= 2; ++level) {
+    const ApproxResult replan = approximate_fidelity(nc, 0, 0, tn_opts(level, false, 1));
+    const ApproxResult reuse = approximate_fidelity(nc, 0, 0, tn_opts(level, true, 1));
+    expect_same_bits(replan, reuse);
+    if (level >= 1) {
+      // 2 plans (top/bottom layer), every contraction past the first pair
+      // replays a cached plan.
+      EXPECT_EQ(reuse.contract_stats.plans_compiled, 2u);
+      EXPECT_EQ(reuse.contract_stats.plan_executions, reuse.contractions);
+      EXPECT_EQ(reuse.contract_stats.plan_reuse_hits, reuse.contractions - 2);
+    }
+  }
+}
+
+TEST(PlanReplay, ApproxBitIdenticalAcrossThreadCounts) {
+  const ch::NoisyCircuit nc = fig4_workload(16, 3);
+  const ApproxResult serial = approximate_fidelity(nc, 0, 0, tn_opts(2, true, 1));
+  const ApproxResult threaded = approximate_fidelity(nc, 0, 0, tn_opts(2, true, 4));
+  expect_same_bits(serial, threaded);
+  // Per-worker sessions replan nothing: stats are partition-independent.
+  EXPECT_EQ(threaded.contract_stats.plans_compiled, 2u);
+  EXPECT_EQ(threaded.contract_stats.plan_executions, serial.contract_stats.plan_executions);
+}
+
+TEST(PlanReplay, TrajectoriesTnReplayMatchesStateVectorSampling) {
+  // TN trajectories replay one plan per sample; the sampled unitary draws
+  // are backend-independent, so the same seed through the state-vector
+  // backend evaluates the same trajectories -- means must agree to
+  // numerical precision, and the replay path must stay bit-identical
+  // across thread counts.
+  const qc::Circuit circuit = bench::qaoa(9, 1, 5);
+  const ch::NoisyCircuit nc =
+      bench::insert_noises(circuit, 3, bench::depolarizing_noise(0.02), 17);
+  EvalOptions tn_eval, sv_eval;
+  tn_eval.backend = EvalOptions::Backend::TensorNetwork;
+  sv_eval.backend = EvalOptions::Backend::StateVector;
+  sim::ParallelOptions serial, quad;
+  serial.threads = 1;
+  quad.threads = 4;
+  const sim::TrajectoryResult tn_run = trajectories_tn(nc, 0, 0, 200, 7, serial, tn_eval);
+  const sim::TrajectoryResult sv_run = trajectories_tn(nc, 0, 0, 200, 7, serial, sv_eval);
+  EXPECT_NEAR(tn_run.mean, sv_run.mean, 1e-9);
+  const sim::TrajectoryResult threaded = trajectories_tn(nc, 0, 0, 200, 7, quad, tn_eval);
+  EXPECT_EQ(tn_run.mean, threaded.mean);
+  EXPECT_EQ(tn_run.std_error, threaded.std_error);
+}
+
+TEST(PlanReplay, ApproxAgreesWithStateVectorReference) {
+  // Same workload through the exact state-vector backend: the plan-replay
+  // TN value must agree to numerical precision (not bitwise -- different
+  // arithmetic order).
+  const ch::NoisyCircuit nc = fig4_workload(9, 2);
+  ApproxOptions sv = tn_opts(2, true, 1);
+  sv.eval.backend = EvalOptions::Backend::StateVector;
+  const ApproxResult tn_result = approximate_fidelity(nc, 0, 0, tn_opts(2, true, 1));
+  const ApproxResult sv_result = approximate_fidelity(nc, 0, 0, sv);
+  EXPECT_NEAR(tn_result.value, sv_result.value, 1e-9);
+}
+
+}  // namespace
+}  // namespace noisim::core

@@ -59,6 +59,27 @@ TEST(Tensor, PermuteValidatesInput) {
   EXPECT_THROW(t.permute({0, 2}), LinalgError);
 }
 
+TEST(Tensor, IdentityPermuteIsExactCopy) {
+  std::mt19937_64 rng(2);
+  const Tensor t = random_tensor({2, 3, 4}, rng);
+  const Tensor p = t.permute({0, 1, 2});  // fast path: no element walk
+  ASSERT_EQ(p.shape(), t.shape());
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(p[i], t[i]);
+  const std::vector<std::size_t> id{0, 1, 2}, swapped{1, 0, 2};
+  EXPECT_TRUE(is_identity_permutation(id));
+  EXPECT_FALSE(is_identity_permutation(swapped));
+}
+
+TEST(Tensor, PermuteIntoMatchesPermute) {
+  std::mt19937_64 rng(3);
+  const Tensor t = random_tensor({3, 4, 5}, rng);
+  const Tensor p = t.permute({2, 0, 1});
+  Tensor dst({5, 3, 4});
+  const std::vector<std::size_t> perm{2, 0, 1};
+  permute_into(t.data(), t.shape(), perm, dst.data());
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_EQ(dst[i], p[i]);
+}
+
 TEST(Tensor, ReshapeKeepsData) {
   std::mt19937_64 rng(2);
   const Tensor t = random_tensor({4, 6}, rng);
