@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
       << "  \"bench\": \"fig4\",\n"
       << "  \"workload\": \"qaoa_" << n << " + realistic noises\",\n"
       << "  \"qubits\": " << n << ",\n"
+      << "  \"machine\": " << bench::machine_json() << ",\n"
       << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
       << "  \"qubits\": " << nc.num_qubits() << ",\n"
       << "  \"samples\": " << samples << ",\n"
       << "  \"seed\": " << seed << ",\n"
-      << "  \"hardware_threads\": " << hw << ",\n"
+      << "  \"machine\": " << bench::machine_json() << ",\n"
       << "  \"deterministic_across_threads\": " << (deterministic ? "true" : "false") << ",\n"
       << "  \"serial_seconds\": " << serial_seconds << ",\n"
       << "  \"runs\": [\n";

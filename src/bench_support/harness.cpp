@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <ostream>
+#include <thread>
 
 #include "linalg/complex.hpp"
 
@@ -37,8 +39,33 @@ std::string stats_json(const tn::ContractStats& stats) {
   out += ", \"plans_compiled\": " + std::to_string(stats.plans_compiled);
   out += ", \"plan_executions\": " + std::to_string(stats.plan_executions);
   out += ", \"plan_reuse_hits\": " + std::to_string(stats.plan_reuse_hits);
+  out += ", \"flops\": " + std::to_string(stats.flops);
+  out += ", \"bytes_moved\": " + std::to_string(stats.bytes_moved);
   out += "}";
   return out;
+}
+
+std::string cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || line.compare(0, 10, "model name") != 0) continue;
+    std::string model = line.substr(colon + 1);
+    // Trim and drop characters that would break the JSON string.
+    std::string clean;
+    for (char c : model)
+      if (c != '"' && c != '\\' && static_cast<unsigned char>(c) >= 0x20) clean += c;
+    const std::size_t first = clean.find_first_not_of(' ');
+    if (first == std::string::npos) break;
+    return clean.substr(first, clean.find_last_not_of(' ') - first + 1);
+  }
+  return "unknown";
+}
+
+std::string machine_json() {
+  return "{\"cpu_model\": \"" + cpu_model() +
+         "\", \"hardware_threads\": " + std::to_string(std::thread::hardware_concurrency()) + "}";
 }
 
 namespace {

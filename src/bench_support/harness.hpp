@@ -35,9 +35,19 @@ RunOutcome run_guarded(const std::function<double()>& fn);
 RunOutcome run_guarded_stats(const std::function<double(tn::ContractStats&)>& fn);
 
 /// JSON object for a stats record, e.g. {"num_pairwise": 12, ...,
-/// "plan_reuse_hits": 7} -- spliced into the BENCH_*.json outputs so
-/// plan-reuse wins show up in the perf trajectory.
+/// "plan_reuse_hits": 7, "flops": 123, "bytes_moved": 456} -- spliced into
+/// the BENCH_*.json outputs so plan-reuse wins and arithmetic intensity
+/// show up in the perf trajectory.
 std::string stats_json(const tn::ContractStats& stats);
+
+/// CPU model string from /proc/cpuinfo ("unknown" when unavailable).
+std::string cpu_model();
+
+/// JSON object describing the machine a bench ran on:
+/// {"cpu_model": "...", "hardware_threads": N}. Every BENCH_*.json embeds
+/// it, so results recorded on a single-core container (where parallel
+/// speedups read as ~1x) are self-explanatory.
+std::string machine_json();
 
 /// "12.34" for Ok (seconds), "MO" / "TO" / "-" otherwise.
 std::string format_time(const RunOutcome& r);

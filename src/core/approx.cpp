@@ -1,6 +1,7 @@
 #include "core/approx.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <mutex>
@@ -196,6 +197,18 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
 
   std::vector<tn::ContractStats> worker_stats(threads);
 
+  using Clock = std::chrono::steady_clock;
+  const auto setup_started = Clock::now();
+  auto note_setup_done = [&] {
+    result.plan_seconds =
+        std::chrono::duration<double>(Clock::now() - setup_started).count();
+    return Clock::now();
+  };
+  auto note_eval_done = [&](Clock::time_point eval_started) {
+    result.eval_seconds =
+        std::chrono::duration<double>(Clock::now() - eval_started).count();
+  };
+
   if (opts.reuse_plans && uses_tensor_network(eval, n)) {
     // Plan/execute fast path: every term's top (bottom) network shares one
     // topology -- only the tensors at the u chosen noise sites change. Plan
@@ -219,30 +232,92 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
       }
     }
 
-    run_partitioned([&](std::size_t w, std::size_t begin, std::size_t end) {
-      AmplitudeTemplate::Session top_session = top_tmpl.session();
-      AmplitudeTemplate::Session bot_session = bot_tmpl.session();
-      std::vector<AmplitudeTemplate::Substitution> top_subs(num_sites), bot_subs(num_sites);
-      for (std::size_t i = begin; i < end; ++i) {
-        const Term& term = terms[i];
-        // Dominant factor everywhere, subdominant at the chosen sites.
-        for (std::size_t s = 0; s < num_sites; ++s) {
-          top_subs[s] = {site_node[s], &top_fac[s][0]};
-          bot_subs[s] = {site_node[s], &bot_fac[s][0]};
+    // Batch size: ApproxOptions::batch_terms clamped to the term count;
+    // <= 1 selects the per-term replay reference path below.
+    const std::size_t batch =
+        std::min(std::max<std::size_t>(opts.batch_terms, 1), terms.size());
+    if (batch > 1) {
+      // Batched replay: each worker chunks its range and executes every
+      // chunk in one plan traversal (shared-cone steps once per chunk,
+      // duplicate slices memcpy'd). Bit-identical to the per-term path at
+      // any batch size -- the reduction below still runs per term in
+      // enumeration order.
+      // Each site only ever substitutes one of its split factors, which
+      // bounds every step's distinct rows by the variant product of its
+      // cone -- most of the batched arena shrinks accordingly.
+      std::vector<std::size_t> variant_counts(num_sites);
+      for (std::size_t s = 0; s < num_sites; ++s)
+        variant_counts[s] = base.sites[s].split.terms();
+      // At level l every term deviates from the dominant assignment at u <=
+      // l sites, which tightens the batched row bounds substantially.
+      tn::ContractStats batched_compile_stats;
+      const tn::BatchedPlan top_bplan = top_tmpl.compile_batched(
+          site_node, batch, &batched_compile_stats, variant_counts, level);
+      const tn::BatchedPlan bot_bplan = bot_tmpl.compile_batched(
+          site_node, batch, &batched_compile_stats, variant_counts, level);
+
+      const auto eval_started = note_setup_done();
+      run_partitioned([&](std::size_t w, std::size_t begin, std::size_t end) {
+        AmplitudeTemplate::BatchedSession top_session(top_tmpl, top_bplan);
+        AmplitudeTemplate::BatchedSession bot_session(bot_tmpl, bot_bplan);
+        std::vector<const tsr::Tensor*> top_ptrs(batch * num_sites);
+        std::vector<const tsr::Tensor*> bot_ptrs(batch * num_sites);
+        std::vector<cplx> top_amp(batch), bot_amp(batch);
+        for (std::size_t b0 = begin; b0 < end; b0 += batch) {
+          const std::size_t kk = std::min(batch, end - b0);
+          for (std::size_t t = 0; t < kk; ++t) {
+            const Term& term = terms[b0 + t];
+            // Dominant factor everywhere, subdominant at the chosen sites.
+            for (std::size_t s = 0; s < num_sites; ++s) {
+              top_ptrs[t * num_sites + s] = &top_fac[s][0];
+              bot_ptrs[t * num_sites + s] = &bot_fac[s][0];
+            }
+            for (std::size_t c = 0; c < term.sites.size(); ++c) {
+              const std::size_t s = term.sites[c];
+              top_ptrs[t * num_sites + s] = &top_fac[s][term.term_idx[c]];
+              bot_ptrs[t * num_sites + s] = &bot_fac[s][term.term_idx[c]];
+            }
+          }
+          top_session.evaluate(std::span(top_ptrs).first(kk * num_sites), kk, top_amp);
+          bot_session.evaluate(std::span(bot_ptrs).first(kk * num_sites), kk, bot_amp);
+          for (std::size_t t = 0; t < kk; ++t) {
+            values[b0 + t] = top_amp[t] * bot_amp[t];
+            note_progress();
+          }
         }
-        for (std::size_t c = 0; c < term.sites.size(); ++c) {
-          const std::size_t s = term.sites[c];
-          top_subs[s].second = &top_fac[s][term.term_idx[c]];
-          bot_subs[s].second = &bot_fac[s][term.term_idx[c]];
+        worker_stats[w].merge(top_session.stats());
+        worker_stats[w].merge(bot_session.stats());
+      });
+      note_eval_done(eval_started);
+      result.contract_stats.merge(batched_compile_stats);
+    } else {
+      const auto eval_started = note_setup_done();
+      run_partitioned([&](std::size_t w, std::size_t begin, std::size_t end) {
+        AmplitudeTemplate::Session top_session = top_tmpl.session();
+        AmplitudeTemplate::Session bot_session = bot_tmpl.session();
+        std::vector<AmplitudeTemplate::Substitution> top_subs(num_sites), bot_subs(num_sites);
+        for (std::size_t i = begin; i < end; ++i) {
+          const Term& term = terms[i];
+          // Dominant factor everywhere, subdominant at the chosen sites.
+          for (std::size_t s = 0; s < num_sites; ++s) {
+            top_subs[s] = {site_node[s], &top_fac[s][0]};
+            bot_subs[s] = {site_node[s], &bot_fac[s][0]};
+          }
+          for (std::size_t c = 0; c < term.sites.size(); ++c) {
+            const std::size_t s = term.sites[c];
+            top_subs[s].second = &top_fac[s][term.term_idx[c]];
+            bot_subs[s].second = &bot_fac[s][term.term_idx[c]];
+          }
+          const cplx top_amp = top_session.evaluate(top_subs);
+          const cplx bot_amp = bot_session.evaluate(bot_subs);
+          note_progress();
+          values[i] = top_amp * bot_amp;
         }
-        const cplx top_amp = top_session.evaluate(top_subs);
-        const cplx bot_amp = bot_session.evaluate(bot_subs);
-        note_progress();
-        values[i] = top_amp * bot_amp;
-      }
-      worker_stats[w].merge(top_session.stats());
-      worker_stats[w].merge(bot_session.stats());
-    });
+        worker_stats[w].merge(top_session.stats());
+        worker_stats[w].merge(bot_session.stats());
+      });
+      note_eval_done(eval_started);
+    }
     result.contract_stats.merge(top_tmpl.compile_stats());
     result.contract_stats.merge(bot_tmpl.compile_stats());
   } else {
@@ -267,11 +342,13 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
       return top_amp * bot_amp;
     };
 
+    const auto eval_started = note_setup_done();
     run_partitioned([&](std::size_t w, std::size_t begin, std::size_t end) {
       std::vector<qc::Gate> top = skeleton, bottom = skeleton;
       for (std::size_t i = begin; i < end; ++i)
         values[i] = eval_term(terms[i], top, bottom, &worker_stats[w]);
     });
+    note_eval_done(eval_started);
   }
 
   // Deterministic stats reduction in worker order.

@@ -37,6 +37,20 @@ struct ApproxOptions {
   /// executor, so they produce bit-identical values. Only affects the
   /// tensor-network backend.
   bool reuse_plans = true;
+  /// Terms replayed per batched plan traversal (tensor-network backend with
+  /// reuse_plans only). Each worker chunks its term range into batches of
+  /// this size and executes every batch in ONE plan traversal: steps
+  /// outside the noise sites' light cone run once per batch, duplicate
+  /// slices are memcpy'd, and per-step dispatch/permutation work amortizes
+  /// over the batch -- results stay bit-identical to per-term replay at any
+  /// batch size or thread count. <= 1 disables batching (the PR-2 per-term
+  /// replay path, kept as the speedup baseline and equivalence reference).
+  /// Note the batched workspace grows with the batch size: with
+  /// max_workspace_elems set, a batch can exceed a budget the per-term
+  /// path fits (MemoryOutError at batched-plan compile time). The
+  /// per-replay timeout_seconds budget scales with the batch (k terms get
+  /// k replay budgets), so TO behavior does not depend on batch size.
+  std::size_t batch_terms = 32;
 };
 
 struct ApproxResult {
@@ -61,6 +75,13 @@ struct ApproxResult {
   /// evaluations and worker threads (plan compilations, replays, reuse
   /// hits). Zero when the state-vector backend evaluated the terms.
   tn::ContractStats contract_stats;
+  /// Wall-clock split of the evaluation: upfront setup (network build +
+  /// plan and batched-plan compilation, paid once per sweep) vs the
+  /// per-term evaluation loop. Per-term throughput is terms/eval_seconds;
+  /// the re-planning reference path plans inside the loop, so its
+  /// plan_seconds is 0.
+  double plan_seconds = 0.0;
+  double eval_seconds = 0.0;
 };
 
 /// Run Algorithm 1 on a noisy circuit with computational-basis input and

@@ -14,7 +14,7 @@ tsr::Tensor basis_state_tensor(bool one) {
 
 tsr::Tensor gate_matrix_tensor(const la::Matrix& m, int num_qubits) {
   tsr::Tensor t = tsr::Tensor::from_matrix(m);
-  if (num_qubits == 2) t = t.reshape({2, 2, 2, 2});
+  if (num_qubits == 2) t = std::move(t).reshape({2, 2, 2, 2});
   return t;
 }
 
@@ -84,14 +84,30 @@ AmplitudeTemplate::AmplitudeTemplate(int n, const std::vector<qc::Gate>& skeleto
                                      std::uint64_t psi_bits, std::uint64_t v_bits,
                                      bool conjugate, const EvalOptions& opts)
     : net_(amplitude_network(n, skeleton, psi_bits, v_bits, conjugate)),
-      plan_(tn::ContractionPlan::compile(net_, resolve_tn_options(n, skeleton, opts),
-                                         &compile_stats_)),
+      copts_(resolve_tn_options(n, skeleton, opts)),
+      plan_(tn::ContractionPlan::compile(net_, copts_, &compile_stats_)),
       n_(n) {}
 
 AmplitudeTemplate::Session::Session(const AmplitudeTemplate& tmpl) : tmpl_(&tmpl) {
   inputs_.reserve(tmpl.net_.num_nodes());
   for (std::size_t i = 0; i < tmpl.net_.num_nodes(); ++i)
     inputs_.push_back(&tmpl.net_.node(i).tensor);
+}
+
+AmplitudeTemplate::BatchedSession::BatchedSession(const AmplitudeTemplate& tmpl,
+                                                  const tn::BatchedPlan& bplan)
+    : bplan_(&bplan) {
+  shared_.reserve(tmpl.net_.num_nodes());
+  for (std::size_t i = 0; i < tmpl.net_.num_nodes(); ++i)
+    shared_.push_back(&tmpl.net_.node(i).tensor);
+}
+
+void AmplitudeTemplate::BatchedSession::evaluate(std::span<const tsr::Tensor* const> ptrs,
+                                                 std::size_t k, std::span<cplx> out) {
+  la::detail::require(out.size() >= k, "BatchedSession: output span too small");
+  const tsr::Tensor amps = bplan_->execute(shared_, ptrs, k, ws_, &stats_);
+  la::detail::require(amps.size() == k, "BatchedSession: template output is not scalar");
+  std::copy(amps.data(), amps.data() + k, out.data());
 }
 
 cplx AmplitudeTemplate::Session::evaluate(std::span<const Substitution> subs) {

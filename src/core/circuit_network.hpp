@@ -109,6 +109,23 @@ class AmplitudeTemplate {
   /// Stats recorded while compiling the plan (plans_compiled = 1).
   const tn::ContractStats& compile_stats() const { return compile_stats_; }
 
+  /// Compile a batched replay of the template's plan: up to `capacity`
+  /// terms differing only at the given (network node) slots execute per
+  /// traversal. `variant_counts[v]` (optional) promises at most that many
+  /// distinct tensors ever substituted at nodes[v], shrinking the batched
+  /// arena to each step's variant product (see
+  /// tn::ContractionPlan::compile_batched). Throws MemoryOutError when the
+  /// batched arena exceeds the template's max_workspace_elems budget -- the
+  /// per-term path may fit a budget its batched counterpart exceeds.
+  tn::BatchedPlan compile_batched(std::span<const std::size_t> nodes, std::size_t capacity,
+                                  tn::ContractStats* stats = nullptr,
+                                  std::span<const std::size_t> variant_counts = {},
+                                  std::size_t max_varied_per_term =
+                                      static_cast<std::size_t>(-1)) const {
+    return plan_.compile_batched(nodes, capacity, copts_, stats, variant_counts,
+                                 max_varied_per_term);
+  }
+
   /// (node index, replacement tensor) pair for Session::evaluate.
   using Substitution = std::pair<std::size_t, const tsr::Tensor*>;
 
@@ -134,11 +151,38 @@ class AmplitudeTemplate {
   /// A fresh session; the template must outlive it.
   Session session() const { return Session(*this); }
 
+  /// Per-thread batched evaluation state over a compiled BatchedPlan:
+  /// workspace plus the shared-input table. Evaluates K same-topology
+  /// amplitudes (e.g. K Algorithm-1 terms or K trajectory samples) in one
+  /// plan traversal; each amplitude is bit-identical to Session::evaluate
+  /// with the same substitutions.
+  class BatchedSession {
+   public:
+    /// Template and batched plan must outlive the session; `bplan` must
+    /// have been compiled from this template's plan.
+    BatchedSession(const AmplitudeTemplate& tmpl, const tn::BatchedPlan& bplan);
+    /// Evaluate k <= bplan.capacity() amplitudes: ptrs[t * V + v] stands in
+    /// at varying node bplan.varying_slots()[v] for term t (V = number of
+    /// varying nodes). Writes the k amplitudes to `out`.
+    void evaluate(std::span<const tsr::Tensor* const> ptrs, std::size_t k,
+                  std::span<cplx> out);
+    /// Contraction stats accumulated across evaluate calls.
+    const tn::ContractStats& stats() const { return stats_; }
+
+   private:
+    const tn::BatchedPlan* bplan_;
+    tn::PlanWorkspace ws_;
+    std::vector<const tsr::Tensor*> shared_;
+    tn::ContractStats stats_;
+  };
+
  private:
   // Declaration order matters: compile_stats_ is written while plan_
-  // initializes, and plan_ compiles from net_.
+  // initializes, and plan_ compiles from net_; copts_ is resolved before
+  // plan_ compiles and kept for compile_batched.
   tn::Network net_;
   tn::ContractStats compile_stats_;
+  tn::ContractOptions copts_;
   tn::ContractionPlan plan_;
   int n_ = 0;
 };

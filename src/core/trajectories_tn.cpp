@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 #include <optional>
+#include <span>
 
 namespace noisim::core {
 
@@ -68,15 +69,21 @@ double sample_once(const TnSkeleton& sk, std::vector<qc::Gate>& gates, int n,
 // Plan-replay machinery for the tensor-network backend: every sample shares
 // the skeleton's topology, so the contraction plan is compiled once and
 // replayed per trajectory with only the sampled site tensors substituted.
+// When `batch_capacity` > 1 a batched replay is compiled on top, executing
+// up to that many samples per plan traversal (chunk-at-a-time sampling);
+// if the batched arena exceeds the workspace budget the per-sample path
+// fits, the context silently falls back to sample-at-a-time replay, which
+// produces bit-identical estimates.
 struct TnPlanContext {
   AmplitudeTemplate tmpl;
   std::vector<std::size_t> site_node;
   // Tensorized mixture unitaries per (site, mixture index) -- sampling then
   // allocates nothing per trajectory.
   std::vector<std::vector<tsr::Tensor>> site_tensors;
+  std::optional<tn::BatchedPlan> bplan;
 
   TnPlanContext(const ch::NoisyCircuit& nc, const TnSkeleton& sk, std::uint64_t psi_bits,
-                std::uint64_t v_bits, const EvalOptions& eval)
+                std::uint64_t v_bits, const EvalOptions& eval, std::size_t batch_capacity)
       : tmpl(nc.num_qubits(), sk.gates, psi_bits, v_bits, /*conjugate=*/false, eval) {
     site_node.reserve(sk.mixtures.size());
     site_tensors.reserve(sk.mixtures.size());
@@ -88,6 +95,18 @@ struct TnPlanContext {
       for (const la::Matrix& u : sk.mixtures[site].unitaries)
         tensors.push_back(gate_matrix_tensor(u, g.num_qubits()));
       site_tensors.push_back(std::move(tensors));
+    }
+    if (batch_capacity > 1) {
+      // Each site draws from its fixed unitary mixture, which bounds every
+      // step's distinct rows by the mixture-size product of its cone.
+      std::vector<std::size_t> variant_counts(sk.mixtures.size());
+      for (std::size_t site = 0; site < sk.mixtures.size(); ++site)
+        variant_counts[site] = sk.mixtures[site].unitaries.size();
+      try {
+        bplan.emplace(tmpl.compile_batched(site_node, batch_capacity, nullptr, variant_counts));
+      } catch (const MemoryOutError&) {
+        // Batch-aware workspace budget exceeded; per-sample replay still fits.
+      }
     }
   }
 };
@@ -105,6 +124,26 @@ double sample_once_plan(const TnSkeleton& sk, const TnPlanContext& ctx,
   return std::norm(session.evaluate(subs));
 }
 
+// A whole chunk of trajectories in one batched plan traversal: the per-site
+// draws happen sample-by-sample in the same RNG order as sample_once_plan,
+// then all sampled networks execute at once (shared gates broadcast,
+// repeated unitary draws deduplicated). Each sample's amplitude is
+// bit-identical to the per-sample replay.
+void sample_chunk_plan(const TnSkeleton& sk, const TnPlanContext& ctx,
+                       AmplitudeTemplate::BatchedSession& session,
+                       std::vector<const tsr::Tensor*>& ptrs, std::vector<cplx>& amps,
+                       std::mt19937_64& rng, std::span<double> out) {
+  const std::size_t num_sites = sk.mixtures.size();
+  const std::size_t k = out.size();
+  for (std::size_t t = 0; t < k; ++t)
+    for (std::size_t site = 0; site < num_sites; ++site) {
+      const std::size_t j = sample_index(sk.mixtures[site].probs, rng);
+      ptrs[t * num_sites + site] = &ctx.site_tensors[site][j];
+    }
+  session.evaluate(std::span(ptrs).first(k * num_sites), k, amps);
+  for (std::size_t t = 0; t < k; ++t) out[t] = std::norm(amps[t]);
+}
+
 // Plan reuse applies when the contraction backend runs and the gate list is
 // shape-stable per sample (simplify would cancel differently per draw).
 bool plan_replay_applies(const EvalOptions& eval, int n) {
@@ -120,23 +159,44 @@ sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t 
   const int n = nc.num_qubits();
   TnSkeleton sk = build_skeleton(nc);
 
+  // Batch granularity of the streaming overload; mirrors the parallel
+  // engine's default chunk size.
+  constexpr std::size_t kStreamBatch = 32;
+
   std::optional<TnPlanContext> ctx;
   std::optional<AmplitudeTemplate::Session> session;
   std::vector<AmplitudeTemplate::Substitution> subs(sk.mixtures.size());
   std::vector<qc::Gate> gates;
   if (plan_replay_applies(eval, n)) {
-    ctx.emplace(nc, sk, psi_bits, v_bits, eval);
-    session.emplace(ctx->tmpl.session());
+    ctx.emplace(nc, sk, psi_bits, v_bits, eval, std::min(kStreamBatch, samples));
+    if (!ctx->bplan) session.emplace(ctx->tmpl.session());
   } else {
     gates = sk.gates;
   }
 
   double sum = 0.0, sum_sq = 0.0;
-  for (std::size_t s = 0; s < samples; ++s) {
-    const double f = ctx ? sample_once_plan(sk, *ctx, *session, subs, rng)
-                         : sample_once(sk, gates, n, psi_bits, v_bits, rng, eval);
-    sum += f;
-    sum_sq += f * f;
+  if (ctx && ctx->bplan) {
+    const std::size_t cap = ctx->bplan->capacity();
+    AmplitudeTemplate::BatchedSession batched(ctx->tmpl, *ctx->bplan);
+    std::vector<const tsr::Tensor*> ptrs(cap * sk.mixtures.size());
+    std::vector<cplx> amps(cap);
+    std::vector<double> values(cap);
+    for (std::size_t s = 0; s < samples; s += cap) {
+      const std::size_t k = std::min(cap, samples - s);
+      sample_chunk_plan(sk, *ctx, batched, ptrs, amps, rng,
+                        std::span<double>(values.data(), k));
+      for (std::size_t t = 0; t < k; ++t) {
+        sum += values[t];
+        sum_sq += values[t] * values[t];
+      }
+    }
+  } else {
+    for (std::size_t s = 0; s < samples; ++s) {
+      const double f = ctx ? sample_once_plan(sk, *ctx, *session, subs, rng)
+                           : sample_once(sk, gates, n, psi_bits, v_bits, rng, eval);
+      sum += f;
+      sum_sq += f * f;
+    }
   }
 
   sim::TrajectoryResult out;
@@ -158,9 +218,25 @@ sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t 
   const TnSkeleton sk = build_skeleton(nc);
 
   if (plan_replay_applies(eval, n)) {
-    // Shared immutable plan; per-worker sessions (workspace + input table)
-    // and substitution buffers, so replays never contend.
-    const TnPlanContext ctx(nc, sk, psi_bits, v_bits, eval);
+    // Shared immutable plans; per-worker sessions (workspace + input table)
+    // and substitution buffers, so replays never contend. Whole RNG chunks
+    // evaluate through one batched traversal when the batched plan fits the
+    // workspace budget; either way the estimate is bit-identical.
+    const std::size_t cap = std::min(std::max<std::size_t>(popts.chunk_size, 1), samples);
+    const TnPlanContext ctx(nc, sk, psi_bits, v_bits, eval, cap);
+    if (ctx.bplan) {
+      auto make_sampler = [&](std::size_t) -> sim::ChunkSampler {
+        auto session =
+            std::make_shared<AmplitudeTemplate::BatchedSession>(ctx.tmpl, *ctx.bplan);
+        auto ptrs =
+            std::make_shared<std::vector<const tsr::Tensor*>>(cap * sk.mixtures.size());
+        auto amps = std::make_shared<std::vector<cplx>>(cap);
+        return [&sk, &ctx, session, ptrs, amps](std::mt19937_64& rng, std::span<double> out) {
+          sample_chunk_plan(sk, ctx, *session, *ptrs, *amps, rng, out);
+        };
+      };
+      return sim::run_trajectories_chunked(samples, seed, make_sampler, popts);
+    }
     auto make_sampler = [&](std::size_t) -> sim::Sampler {
       auto session = std::make_shared<AmplitudeTemplate::Session>(ctx.tmpl.session());
       auto subs = std::make_shared<std::vector<AmplitudeTemplate::Substitution>>(

@@ -63,9 +63,9 @@ std::mt19937_64 chunk_rng(std::uint64_t seed, std::uint64_t chunk_index) {
   return std::mt19937_64(splitmix64(seed ^ splitmix64(chunk_index)));
 }
 
-TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
-                                  const SamplerFactory& make_sampler,
-                                  const ParallelOptions& opts) {
+TrajectoryResult run_trajectories_chunked(std::size_t samples, std::uint64_t seed,
+                                          const ChunkSamplerFactory& make_sampler,
+                                          const ParallelOptions& opts) {
   la::detail::require(samples > 0, "run_trajectories: need at least one sample");
   la::detail::require(opts.chunk_size > 0, "run_trajectories: chunk_size must be positive");
 
@@ -77,15 +77,17 @@ TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
   std::atomic<std::size_t> next{0};
 
   auto worker = [&](std::size_t w) {
-    Sampler sampler = make_sampler(w);
+    ChunkSampler sampler = make_sampler(w);
+    std::vector<double> values(opts.chunk_size);
     while (true) {
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
       const std::size_t begin = c * opts.chunk_size;
       const std::size_t end = std::min(begin + opts.chunk_size, samples);
       std::mt19937_64 rng = chunk_rng(seed, c);
+      sampler(rng, std::span<double>(values.data(), end - begin));
       Welford& stats = chunk_stats[c];
-      for (std::size_t s = begin; s < end; ++s) stats.add(sampler(rng));
+      for (std::size_t s = 0; s < end - begin; ++s) stats.add(values[s]);
     }
   };
 
@@ -110,6 +112,19 @@ TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
   if (total.count > 1)
     out.std_error = std::sqrt(total.variance() / static_cast<double>(total.count));
   return out;
+}
+
+TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
+                                  const SamplerFactory& make_sampler,
+                                  const ParallelOptions& opts) {
+  return run_trajectories_chunked(
+      samples, seed,
+      [&make_sampler](std::size_t w) -> ChunkSampler {
+        return [sampler = make_sampler(w)](std::mt19937_64& rng, std::span<double> values) {
+          for (double& v : values) v = sampler(rng);
+        };
+      },
+      opts);
 }
 
 TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <random>
+#include <span>
 
 namespace noisim::sim {
 
@@ -66,6 +67,16 @@ using Sampler = std::function<double(std::mt19937_64&)>;
 /// can own scratch state (e.g. a gate-list copy) without synchronization.
 using SamplerFactory = std::function<Sampler(std::size_t worker)>;
 
+/// Fill one chunk's fidelity samples (values.size() <= chunk_size) drawing
+/// from `rng` exactly as the per-sample path would, in sample order --
+/// backends that evaluate a whole chunk at once (the batched TN plan
+/// executor) pre-draw per-sample randomness in order and then fill the
+/// values in one shot, which keeps the estimate bit-identical to
+/// sample-at-a-time evaluation.
+using ChunkSampler = std::function<void(std::mt19937_64&, std::span<double>)>;
+/// Per-worker chunk-sampler factory (owns scratch, like SamplerFactory).
+using ChunkSamplerFactory = std::function<ChunkSampler(std::size_t worker)>;
+
 /// Run `samples` trajectories with work-stealing over seed-indexed chunks.
 /// The result is identical for any `opts.threads` (including 1).
 TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
@@ -75,5 +86,12 @@ TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
 /// Convenience overload for samplers without per-worker scratch.
 TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
                                   const Sampler& sampler, const ParallelOptions& opts = {});
+
+/// Chunk-at-a-time variant of run_trajectories: same chunking, RNG streams,
+/// and deterministic Welford merge, but each chunk's samples are produced
+/// by one ChunkSampler call (enabling batched evaluation across the chunk).
+TrajectoryResult run_trajectories_chunked(std::size_t samples, std::uint64_t seed,
+                                          const ChunkSamplerFactory& make_sampler,
+                                          const ParallelOptions& opts = {});
 
 }  // namespace noisim::sim

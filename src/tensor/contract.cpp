@@ -88,6 +88,147 @@ void matmul_accumulate(const cplx* a, const cplx* b, cplx* out, std::size_t m, s
   }
 }
 
+namespace {
+
+/// Fixed-k microkernel, k = Kc known at compile time. For k <= 64 and
+/// n <= 64 the blocked kernel above degenerates to a single (k0, j0) block,
+/// i.e. the plain i/kk/j loop with the same zero-skip -- this kernel is that
+/// loop with the kk trip count baked in, so results are bit-identical while
+/// the compiler fully unrolls kk and vectorizes the contiguous j loop.
+template <std::size_t Kc>
+void matmul_small_k(const cplx* a, const cplx* b, cplx* out, std::size_t m, std::size_t k,
+                    std::size_t n) {
+  (void)k;  // == Kc by dispatch contract
+  const double* pa = reinterpret_cast<const double*>(a);
+  const double* pb = reinterpret_cast<const double*>(b);
+  double* po = reinterpret_cast<double*>(out);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = pa + 2 * i * Kc;
+    double* orow = po + 2 * i * n;
+    for (std::size_t kk = 0; kk < Kc; ++kk) {
+      const double ar = arow[2 * kk];
+      const double ai = arow[2 * kk + 1];
+      if (ar == 0.0 && ai == 0.0) continue;
+      const double* brow = pb + 2 * kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double br = brow[2 * j];
+        const double bi = brow[2 * j + 1];
+        orow[2 * j] += ar * br - ai * bi;
+        orow[2 * j + 1] += ar * bi + ai * br;
+      }
+    }
+  }
+}
+
+/// Fixed k x n panel microkernel for the circuit-network workhorse: a long
+/// boundary tensor (any m) absorbing a 1- or 2-qubit gate (k, n in {2, 4}).
+/// The whole b panel -- at most 4 x 4 complex -- is hoisted into locals
+/// reused by every row of a, and the kk/j loops fully unroll, leaving one
+/// streaming pass over a and out. Same single-block i/kk(zero-skip)/j
+/// structure as the blocked kernel, so bits never change.
+template <std::size_t Kc, std::size_t Nc>
+void matmul_small_kn(const cplx* a, const cplx* b, cplx* out, std::size_t m, std::size_t k,
+                     std::size_t n) {
+  (void)k;  // == Kc by dispatch contract
+  (void)n;  // == Nc by dispatch contract
+  const double* pa = reinterpret_cast<const double*>(a);
+  const double* pb = reinterpret_cast<const double*>(b);
+  double* po = reinterpret_cast<double*>(out);
+  double br[Kc * Nc], bi[Kc * Nc];
+  for (std::size_t e = 0; e < Kc * Nc; ++e) {
+    br[e] = pb[2 * e];
+    bi[e] = pb[2 * e + 1];
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = pa + 2 * i * Kc;
+    double* orow = po + 2 * i * Nc;
+    for (std::size_t kk = 0; kk < Kc; ++kk) {
+      const double ar = arow[2 * kk];
+      const double ai = arow[2 * kk + 1];
+      if (ar == 0.0 && ai == 0.0) continue;
+      for (std::size_t j = 0; j < Nc; ++j) {
+        orow[2 * j] += ar * br[kk * Nc + j] - ai * bi[kk * Nc + j];
+        orow[2 * j + 1] += ar * bi[kk * Nc + j] + ai * br[kk * Nc + j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MatmulFn select_matmul(std::size_t m, std::size_t k, std::size_t n) {
+  // The microkernels are only bit-identical while the blocked kernel stays
+  // a single block: k inside one kBlockK panel, n inside one kBlockJ panel
+  // (all shapes below satisfy both). Panel kernels cover gate absorption
+  // into arbitrarily long boundary tensors; the fixed-k kernels cover the
+  // remaining tiny outputs where blocked-kernel setup dominates.
+  if (k == 2) {
+    if (n == 2) return &matmul_small_kn<2, 2>;
+    if (n == 4) return &matmul_small_kn<2, 4>;
+    if (m * n <= 64) return &matmul_small_k<2>;
+  }
+  if (k == 4) {
+    if (n == 2) return &matmul_small_kn<4, 2>;
+    if (n == 4) return &matmul_small_kn<4, 4>;
+    if (m * n <= 64) return &matmul_small_k<4>;
+  }
+  if (k == 8) {
+    if (n == 2) return &matmul_small_kn<8, 2>;
+    if (n == 4) return &matmul_small_kn<8, 4>;
+  }
+  if (k == 16) {
+    if (n == 2) return &matmul_small_kn<16, 2>;
+    if (n == 4) return &matmul_small_kn<16, 4>;
+  }
+  return &matmul_accumulate;
+}
+
+void matmul_accumulate_gathered(const cplx* a, const std::uint32_t* a_idx, const cplx* b,
+                                const std::uint32_t* b_idx, cplx* out, std::size_t m,
+                                std::size_t k, std::size_t n) {
+  // Plain i/kk/j traversal: blocking only reorders (i, j) visits, never the
+  // per-element kk order, so this is bit-identical to the blocked kernel.
+  const double* pa = reinterpret_cast<const double*>(a);
+  const double* pb = reinterpret_cast<const double*>(b);
+  double* po = reinterpret_cast<double*>(out);
+  for (std::size_t i = 0; i < m; ++i) {
+    double* orow = po + 2 * i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::size_t ae = a_idx ? a_idx[i * k + kk] : i * k + kk;
+      const double ar = pa[2 * ae];
+      const double ai = pa[2 * ae + 1];
+      if (ar == 0.0 && ai == 0.0) continue;
+      if (b_idx) {
+        const std::uint32_t* bidx_row = b_idx + kk * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::size_t be = bidx_row[j];
+          const double br = pb[2 * be];
+          const double bi = pb[2 * be + 1];
+          orow[2 * j] += ar * br - ai * bi;
+          orow[2 * j + 1] += ar * bi + ai * br;
+        }
+      } else {
+        const double* brow = pb + 2 * kk * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          const double br = brow[2 * j];
+          const double bi = brow[2 * j + 1];
+          orow[2 * j] += ar * br - ai * bi;
+          orow[2 * j + 1] += ar * bi + ai * br;
+        }
+      }
+    }
+  }
+}
+
+void matmul_accumulate_batched(const cplx* a, const cplx* b, cplx* out, std::size_t m,
+                               std::size_t k, std::size_t n, std::size_t batch,
+                               std::size_t a_stride, std::size_t b_stride,
+                               std::size_t out_stride) {
+  const MatmulFn kernel = select_matmul(m, k, n);
+  for (std::size_t s = 0; s < batch; ++s)
+    kernel(a + s * a_stride, b + s * b_stride, out + s * out_stride, m, k, n);
+}
+
 }  // namespace detail
 
 std::size_t contract_result_size(const Tensor& a, std::span<const std::size_t> axes_a,

@@ -36,6 +36,47 @@ namespace detail {
 void matmul_accumulate(const cplx* a, const cplx* b, cplx* out, std::size_t m, std::size_t k,
                        std::size_t n);
 
+/// Signature shared by the generic kernel and the small-shape microkernels.
+using MatmulFn = void (*)(const cplx* a, const cplx* b, cplx* out, std::size_t m, std::size_t k,
+                          std::size_t n);
+
+/// Kernel dispatch: a specialized microkernel for the dominant small shapes
+/// of circuit tensor networks (k in {2, 4}, m*n <= 64 -- dim-2 wire bundles
+/// against rank-3/4 gate tensors), the generic cache-blocked kernel
+/// otherwise. Every returned kernel accumulates ascending-k per output
+/// element, so the choice never changes bits -- callers executing many
+/// same-shape products (the batched plan executor) select once per step
+/// instead of re-entering the blocked kernel's setup per term. The fixed-k
+/// microkernels keep the inner j loop on raw contiguous doubles, which the
+/// compiler turns into SIMD mul/add (no FMA contraction, preserving IEEE
+/// semantics bit for bit).
+MatmulFn select_matmul(std::size_t m, std::size_t k, std::size_t n);
+
+/// Permutation-fused variant: reads operand elements through optional
+/// gather tables instead of requiring pre-permuted copies -- a_idx[i*k+kk]
+/// (when non-null) is the flat offset of logical element (i, kk) in `a`,
+/// b_idx[kk*n+j] likewise for `b`. Per output element the accumulation is
+/// still ascending-k with the same zero-skip, so results are bit-identical
+/// to permuting into scratch and calling matmul_accumulate; what changes is
+/// that each operand is read once in place instead of copied, written, and
+/// re-read. The batched executor uses this for its per-term (sequential)
+/// pass, where operands change every term and permuted copies would be
+/// pure overhead.
+void matmul_accumulate_gathered(const cplx* a, const std::uint32_t* a_idx, const cplx* b,
+                                const std::uint32_t* b_idx, cplx* out, std::size_t m,
+                                std::size_t k, std::size_t n);
+
+/// Strided-batched variant: for each slice s < batch,
+///   out[s*out_stride] += a[s*a_stride] * b[s*b_stride]
+/// as one m x k x n matmul. A stride of 0 broadcasts that operand across
+/// the batch (shared leaf tensors are read in place, never copied). Kernel
+/// selection and dispatch happen once for the whole batch; each slice is
+/// bit-identical to a standalone matmul_accumulate call on its operands.
+void matmul_accumulate_batched(const cplx* a, const cplx* b, cplx* out, std::size_t m,
+                               std::size_t k, std::size_t n, std::size_t batch,
+                               std::size_t a_stride, std::size_t b_stride,
+                               std::size_t out_stride);
+
 }  // namespace detail
 
 }  // namespace noisim::tsr

@@ -58,6 +58,29 @@ void permute_walk(const cplx* src, std::span<const std::size_t> out_shape,
   }
 }
 
+std::vector<std::uint32_t> permute_gather(std::span<const std::size_t> out_shape,
+                                          std::span<const std::size_t> src_stride) {
+  const std::size_t rank = out_shape.size();
+  std::size_t total = 1;
+  for (std::size_t d : out_shape) total *= d;
+  la::detail::require(permute_gather_applies(total), "permute_gather: table too large");
+  std::vector<std::uint32_t> gather(rank == 0 ? 1 : total);
+  std::vector<std::size_t> idx(rank, 0);
+  std::size_t at = 0;
+  for (std::size_t flat = 0; flat < gather.size(); ++flat) {
+    gather[flat] = static_cast<std::uint32_t>(at);
+    for (std::size_t ax = rank; ax-- > 0;) {
+      if (++idx[ax] < out_shape[ax]) {
+        at += src_stride[ax];
+        break;
+      }
+      at -= src_stride[ax] * (out_shape[ax] - 1);
+      idx[ax] = 0;
+    }
+  }
+  return gather;
+}
+
 void permute_into(const cplx* src, std::span<const std::size_t> shape,
                   std::span<const std::size_t> perm, cplx* dst) {
   const std::size_t rank = shape.size();
@@ -112,7 +135,7 @@ std::size_t Tensor::flat_index(std::span<const std::size_t> idx) const {
   return flat;
 }
 
-Tensor Tensor::permute(std::span<const std::size_t> perm) const {
+Tensor Tensor::permute(std::span<const std::size_t> perm) const& {
   la::detail::require(perm.size() == rank(), "Tensor::permute: rank mismatch");
   std::vector<bool> seen(rank(), false);
   for (std::size_t p : perm) {
@@ -128,11 +151,24 @@ Tensor Tensor::permute(std::span<const std::size_t> perm) const {
   return out;
 }
 
-Tensor Tensor::reshape(std::vector<std::size_t> new_shape) const {
+Tensor Tensor::permute(std::span<const std::size_t> perm) && {
+  if (perm.size() == rank() && is_identity_permutation(perm)) return std::move(*this);
+  return static_cast<const Tensor&>(*this).permute(perm);
+}
+
+Tensor Tensor::reshape(std::vector<std::size_t> new_shape) const& {
   la::detail::require(shape_size(new_shape) == size(), "Tensor::reshape: size mismatch");
   Tensor out;
   out.shape_ = std::move(new_shape);
   out.data_ = data_;
+  return out;
+}
+
+Tensor Tensor::reshape(std::vector<std::size_t> new_shape) && {
+  la::detail::require(shape_size(new_shape) == size(), "Tensor::reshape: size mismatch");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = std::move(data_);
   return out;
 }
 

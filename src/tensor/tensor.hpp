@@ -7,7 +7,9 @@
 // contraction (which can have any size) are first-class.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -54,13 +56,22 @@ class Tensor {
   std::size_t flat_index(std::span<const std::size_t> idx) const;
 
   /// New tensor with axes reordered: result axis i is this->axis perm[i].
-  Tensor permute(std::span<const std::size_t> perm) const;
-  Tensor permute(std::initializer_list<std::size_t> perm) const {
+  /// The rvalue overload moves the storage through identity permutations
+  /// (no copy); non-identity permutations copy either way (the walk cannot
+  /// run in place).
+  Tensor permute(std::span<const std::size_t> perm) const&;
+  Tensor permute(std::span<const std::size_t> perm) &&;
+  Tensor permute(std::initializer_list<std::size_t> perm) const& {
     return permute(std::span<const std::size_t>(perm.begin(), perm.size()));
   }
+  Tensor permute(std::initializer_list<std::size_t> perm) && {
+    return std::move(*this).permute(std::span<const std::size_t>(perm.begin(), perm.size()));
+  }
 
-  /// Reinterpret the same data under a new shape (sizes must agree).
-  Tensor reshape(std::vector<std::size_t> new_shape) const;
+  /// Reinterpret the same data under a new shape (sizes must agree). The
+  /// rvalue overload moves the storage instead of copying it.
+  Tensor reshape(std::vector<std::size_t> new_shape) const&;
+  Tensor reshape(std::vector<std::size_t> new_shape) &&;
 
   /// Entry-wise complex conjugate.
   Tensor conj() const;
@@ -105,6 +116,24 @@ void permute_into(const cplx* src, std::span<const std::size_t> shape,
 void permute_walk(const cplx* src, std::span<const std::size_t> out_shape,
                   std::span<const std::size_t> src_stride, cplx* dst, std::size_t total,
                   std::size_t* idx);
+
+/// Materialized permutation walk: gather[f] is the source offset the walk
+/// reads for flat output position f, so applying the permutation becomes
+/// dst[f] = src[gather[f]] with no per-element index arithmetic. The
+/// batched plan executor builds these once per plan step and replays them
+/// per term/slice. Offsets are 32-bit; callers gate on element count
+/// (permute_gather_applies) and fall back to the odometer walk beyond it.
+std::vector<std::uint32_t> permute_gather(std::span<const std::size_t> out_shape,
+                                          std::span<const std::size_t> src_stride);
+
+/// True when a gather table is worth materializing: the element count fits
+/// 32-bit offsets and the table stays small enough to live in cache.
+inline bool permute_gather_applies(std::size_t total) { return total <= (std::size_t{1} << 16); }
+
+/// Apply a gather table: dst[f] = src[gather[f]].
+inline void gather_walk(const cplx* src, std::span<const std::uint32_t> gather, cplx* dst) {
+  for (std::size_t f = 0; f < gather.size(); ++f) dst[f] = src[gather[f]];
+}
 
 /// Partial trace: contract axis a with axis b of the same tensor
 /// (dimensions must match); the result drops both axes.

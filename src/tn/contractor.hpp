@@ -64,12 +64,21 @@ struct ContractOptions {
 /// maxes); drivers that contract many same-topology networks report their
 /// aggregate through a single struct.
 struct ContractStats {
-  std::size_t num_pairwise = 0;     // pairwise contractions performed
-  std::size_t peak_elems = 0;       // largest intermediate produced
+  std::size_t num_pairwise = 0;     // pairwise matmul kernel invocations performed
+  std::size_t peak_elems = 0;       // largest intermediate buffer produced
   double elapsed_seconds = 0.0;     // total time planning + contracting
   std::size_t plans_compiled = 0;   // contraction plans compiled (topology planning)
-  std::size_t plan_executions = 0;  // plan replays (one per network contraction)
+  std::size_t plan_executions = 0;  // plan replays (one per network contraction / batched term)
   std::size_t plan_reuse_hits = 0;  // replays that reused an already-executed plan
+  /// Complex multiply-add operations executed: sum of m*k*n over every
+  /// kernel invocation (batched replay counts the slices it actually ran,
+  /// so deduplicated/broadcast work is visible as *missing* flops).
+  std::size_t flops = 0;
+  /// Modeled memory traffic of the executed steps, in bytes: operand reads
+  /// (3x for operands that go through a permutation copy), output zero-fill
+  /// + write, and the final output materialization. Together with `flops`
+  /// this records the arithmetic intensity of a run.
+  std::size_t bytes_moved = 0;
 
   /// Fold another record into this one (counters add, peaks max) -- used
   /// to aggregate per-worker stats deterministically.
@@ -80,6 +89,8 @@ struct ContractStats {
     plans_compiled += o.plans_compiled;
     plan_executions += o.plan_executions;
     plan_reuse_hits += o.plan_reuse_hits;
+    flops += o.flops;
+    bytes_moved += o.bytes_moved;
   }
 };
 

@@ -18,11 +18,13 @@
 // with the same options.
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "tensor/contract.hpp"
 #include "tn/contractor.hpp"
 
 namespace noisim::tn {
@@ -44,14 +46,138 @@ struct PlanStep {
   std::size_t out_elems = 1;
 };
 
+/// Grow-only buffer of *uninitialized* complex elements. The batched arena
+/// is written row by row (each output row is zero-filled immediately before
+/// its accumulation), so value-initializing the whole allocation -- sized
+/// for the worst-case batch, usually far beyond the rows a variant-compacted
+/// replay touches -- would fault and zero pages that are never read.
+class ArenaBuffer {
+ public:
+  void ensure(std::size_t elems) {
+    if (elems <= cap_) return;
+    raw_.reset(new double[2 * elems]);  // default-init: no zeroing
+    cap_ = elems;
+  }
+  cplx* data() { return reinterpret_cast<cplx*>(raw_.get()); }
+  const cplx* data() const { return reinterpret_cast<const cplx*>(raw_.get()); }
+
+ private:
+  std::unique_ptr<double[]> raw_;
+  std::size_t cap_ = 0;
+};
+
 /// Per-thread scratch a plan executes in: the intermediate arena plus the
 /// permutation scratch buffers. Buffers only grow, so replaying a plan
 /// through the same workspace allocates nothing in steady state.
 struct PlanWorkspace {
   std::vector<cplx> arena;
+  ArenaBuffer batch_arena;  // batched replays only
   std::vector<cplx> scratch_a, scratch_b;
   std::vector<std::size_t> idx;                // odometer scratch
   std::vector<const tsr::Tensor*> input_ptrs;  // for execute(const Network&)
+  // Batched-replay scratch: variant keys of the varying inputs (in_vids),
+  // every batched step's term -> unique-row map (vids), the per-step key /
+  // unique-row buffers the variant compaction scan works on, and the
+  // per-term boundary signatures / representatives of the sequential pass.
+  std::vector<std::uint32_t> in_vids, vids, key_a, key_b, ukey_a, ukey_b, urep;
+  std::vector<std::uint32_t> sig, term_rep, seq_last;
+};
+
+/// One pairwise step of a batched replay: the parent PlanStep plus the
+/// batch-dependent layout (batched arena offset, varying flags), the
+/// materialized permutation gather tables, and the kernel selected once for
+/// the step's (m, k, n).
+struct BatchedStep {
+  std::size_t lhs = 0, rhs = 0;
+  bool varying_a = false, varying_b = false, varying_out = false;
+  bool identity_a = true, identity_b = true;
+  // Gather tables (source offset per flat output position) when the
+  // operand permutation is small enough to materialize; otherwise the
+  // odometer walk below runs per slice.
+  std::vector<std::uint32_t> a_gather, b_gather;
+  std::vector<std::size_t> a_perm_shape, a_src_stride;
+  std::vector<std::size_t> b_perm_shape, b_src_stride;
+  std::size_t a_elems = 1, b_elems = 1;
+  std::size_t m = 1, k = 1, n = 1;
+  std::size_t out_offset = 0;  // element offset into the *batched* arena
+  std::size_t out_elems = 1;   // per-row output size
+  /// Compile-time bound on distinct rows this step can hold: the variant
+  /// structure of the varying slots in the step's dependency cone, capped
+  /// at the batch capacity. Sizes the arena buffer for batched steps.
+  std::size_t row_bound = 1;
+  /// Root-region steps (row bound near the capacity: terms share almost
+  /// nothing) replay per term through the small reused per-term arena
+  /// segment instead of materializing a rows-wide batch buffer.
+  bool sequential = false;
+  tsr::detail::MatmulFn kernel = nullptr;
+};
+
+/// Batched replay of a ContractionPlan: K terms that share the plan's
+/// topology and differ only in the tensors substituted at the declared
+/// varying input slots execute in ONE traversal of the schedule.
+///
+///  * Intermediates downstream of a varying slot live as [K, ...] batched
+///    buffers in a liveness-packed arena laid out at compile time (the
+///    whole batched arena is checked against max_workspace_elems there, so
+///    batch-induced MO surfaces before any arithmetic);
+///  * steps untouched by any varying slot run ONCE per batch and broadcast
+///    into their consumers (stride-0 operands), instead of once per term;
+///  * slices are variant-compacted: terms whose operands are
+///    known-identical (same substituted tensor pointers, recursively) map
+///    to ONE stored row per step, so each distinct value is computed and
+///    materialized exactly once -- Algorithm-1 batches are dominated by
+///    the shared dominant factor, so most per-site cones collapse to a
+///    handful of rows regardless of the batch size;
+///  * permutation walks are materialized as gather tables and operand
+///    dispatch/kernel selection happens once per step, not once per term;
+///  * the merged-cone "root" region -- steps whose variant bound says every
+///    term is distinct, so batching would only stream single-use rows
+///    through memory -- replays per term through a small reused arena
+///    segment that stays cache-hot, with whole per-term passes skipped
+///    when a term's boundary signature matches an earlier term's.
+///
+/// Every term reproduces the per-term replay bit for bit: broadcast and
+/// row-shared slices are the same deterministic arithmetic computed once,
+/// and the per-row kernels accumulate ascending-k exactly like the
+/// per-term kernel. Thread-safe like ContractionPlan: concurrent replays
+/// need distinct workspaces.
+class BatchedPlan {
+ public:
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_varying() const { return varying_slots_.size(); }
+  const std::vector<std::size_t>& varying_slots() const { return varying_slots_; }
+  /// Batched arena high-water mark (elements) for a full-capacity replay.
+  std::size_t workspace_elems() const { return arena_elems_; }
+
+  /// Replay k <= capacity() terms. `shared[i]` supplies input slot i
+  /// (ignored at varying slots); `varying[t * num_varying() + v]` supplies
+  /// varying slot varying_slots()[v] for term t (term-major). Returns a
+  /// tensor of shape [k, <plan output shape>...]; slice t is bit-identical
+  /// to a per-term ContractionPlan::execute with term t's inputs.
+  tsr::Tensor execute(std::span<const tsr::Tensor* const> shared,
+                      std::span<const tsr::Tensor* const> varying, std::size_t k,
+                      PlanWorkspace& ws, ContractStats* stats = nullptr) const;
+
+ private:
+  friend class ContractionPlan;
+  BatchedPlan() = default;
+
+  std::vector<BatchedStep> steps_;
+  std::vector<std::size_t> input_elems_;
+  std::vector<std::size_t> varying_slots_;
+  std::vector<std::ptrdiff_t> varying_index_of_input_;  // -1 = shared slot
+  std::vector<std::size_t> boundary_;  // varying batched slots read by the sequential pass
+  bool has_seq_ = false;
+  std::size_t capacity_ = 0;
+  std::size_t arena_elems_ = 0;
+  std::size_t scratch_a_elems_ = 0, scratch_b_elems_ = 0;
+  std::size_t max_rank_ = 0;
+  bool output_identity_ = true;
+  std::vector<std::size_t> output_shape_;
+  std::vector<std::size_t> output_src_stride_;
+  std::vector<std::uint32_t> output_gather_;
+  double timeout_seconds_ = 0.0;
+  std::shared_ptr<std::atomic<std::size_t>> executions_;
 };
 
 class ContractionPlan {
@@ -74,12 +200,38 @@ class ContractionPlan {
   tsr::Tensor execute(std::span<const tsr::Tensor* const> inputs, PlanWorkspace& ws,
                       ContractStats* stats = nullptr) const;
 
+  /// Compile a batched replay of this plan: up to `capacity` terms that
+  /// differ only at the `varying_slots` input slots execute per traversal.
+  /// `variant_counts[v]` (optional) promises that at most that many
+  /// *distinct* tensors will ever be substituted at varying_slots[v] across
+  /// a batch -- e.g. the 4 SVD factors of an Algorithm-1 noise site, or a
+  /// channel's unitary-mixture size. The promise tightens each step's
+  /// arena buffer from `capacity` rows to the variant product of its
+  /// dependency cone (execute() checks it and fails loudly if violated);
+  /// empty means no promise (every varying buffer gets `capacity` rows).
+  /// `max_varied_per_term` additionally promises that within any one term
+  /// at most that many varying slots carry something other than their
+  /// first (index-0) tensor -- Algorithm 1's approximation level: all but
+  /// u <= l sites carry the dominant factor. It tightens the row bounds
+  /// further and decides which steps replay per term (see BatchedPlan).
+  /// Throws MemoryOutError when the batched arena exceeds
+  /// opts.max_workspace_elems (batch-aware enforcement: the per-term plan
+  /// may fit a budget its batched counterpart exceeds).
+  BatchedPlan compile_batched(std::span<const std::size_t> varying_slots, std::size_t capacity,
+                              const ContractOptions& opts = {}, ContractStats* stats = nullptr,
+                              std::span<const std::size_t> variant_counts = {},
+                              std::size_t max_varied_per_term = static_cast<std::size_t>(-1)) const;
+
   const std::vector<PlanStep>& steps() const { return steps_; }
   std::size_t num_inputs() const { return input_elems_.size(); }
   /// Largest single intermediate (elements).
   std::size_t peak_elems() const { return peak_elems_; }
   /// Schedule cost: sum of m*k*n over all pairwise steps.
   std::size_t total_flops() const { return total_flops_; }
+  /// Modeled memory traffic of one replay, in bytes (operand reads -- 3x
+  /// for operands copied through a permutation -- plus output zero-fill and
+  /// write per step, plus the final output materialization).
+  std::size_t total_bytes() const { return total_bytes_; }
   /// Arena high-water mark (elements): peak memory of all live
   /// intermediates under the liveness-packed layout.
   std::size_t workspace_elems() const { return arena_elems_; }
@@ -100,6 +252,7 @@ class ContractionPlan {
   std::size_t max_rank_ = 0;
   std::size_t peak_elems_ = 0;
   std::size_t total_flops_ = 0;
+  std::size_t total_bytes_ = 0;
   // Final axis reorder to ascending open-edge order.
   bool output_identity_ = true;
   std::vector<std::size_t> output_shape_;

@@ -186,6 +186,173 @@ TEST(Plan, PlanTimeTimeoutMapsToTO) {
   EXPECT_EQ(bench::format_time(out), "TO");
 }
 
+/// Random variant tensors for the ladder's varying slots and a helper that
+/// checks a batched replay against per-term replays bit for bit.
+void expect_batched_matches_per_term(const Network& net, const ContractionPlan& plan,
+                                     const BatchedPlan& bplan,
+                                     const std::vector<std::size_t>& vslots,
+                                     const std::vector<std::vector<Tensor>>& variants,
+                                     const std::vector<std::vector<std::size_t>>& choice) {
+  const std::size_t k = choice.size();
+  const std::size_t V = vslots.size();
+  std::vector<const Tensor*> varying(k * V);
+  for (std::size_t t = 0; t < k; ++t)
+    for (std::size_t v = 0; v < V; ++v) varying[t * V + v] = &variants[v][choice[t][v]];
+  std::vector<const Tensor*> shared;
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) shared.push_back(&net.node(i).tensor);
+
+  PlanWorkspace bws;
+  const Tensor batched = bplan.execute(shared, varying, k, bws);
+  ASSERT_EQ(batched.dim(0), k);
+
+  PlanWorkspace ws;
+  const std::size_t out_elems = batched.size() / k;
+  for (std::size_t t = 0; t < k; ++t) {
+    std::vector<const Tensor*> inputs = shared;
+    for (std::size_t v = 0; v < V; ++v) inputs[vslots[v]] = varying[t * V + v];
+    const Tensor ref = plan.execute(inputs, ws);
+    ASSERT_EQ(ref.size(), out_elems);
+    for (std::size_t e = 0; e < out_elems; ++e)
+      ASSERT_EQ(ref[e], batched[t * out_elems + e]) << "term " << t << " element " << e;
+  }
+}
+
+TEST(BatchedPlan, MatchesPerTermReplayBitwise) {
+  std::mt19937_64 rng(77);
+  const Network net = ladder_network(21);
+  const ContractionPlan plan = ContractionPlan::compile(net);
+
+  // Vary three nodes (two leaves, one rung tensor), 3 declared variants
+  // each; replay 7 of a capacity-8 batch with repeated and fresh variants
+  // in an order that exercises row sharing and the per-term skip.
+  const std::vector<std::size_t> vslots{0, 3, 6};
+  std::vector<std::vector<Tensor>> variants;
+  for (std::size_t slot : vslots) {
+    std::vector<Tensor> vs;
+    for (int i = 0; i < 3; ++i)
+      vs.push_back(random_tensor(net.node(slot).tensor.shape(), rng));
+    variants.push_back(std::move(vs));
+  }
+  const std::vector<std::size_t> counts{3, 3, 3};
+  const BatchedPlan bplan = plan.compile_batched(vslots, 8, {}, nullptr, counts);
+
+  const std::vector<std::vector<std::size_t>> choice{{0, 0, 0}, {1, 0, 0}, {1, 2, 0},
+                                                     {0, 0, 0}, {2, 2, 2}, {1, 0, 0},
+                                                     {0, 1, 2}};
+  expect_batched_matches_per_term(net, plan, bplan, vslots, variants, choice);
+}
+
+TEST(BatchedPlan, MatchesWithoutVariantCountPromise) {
+  // No variant counts: every varying buffer is capacity-sized and most of
+  // the schedule goes through the sequential pass -- still bit-identical.
+  std::mt19937_64 rng(31);
+  const Network net = ladder_network(22);
+  const ContractionPlan plan = ContractionPlan::compile(net);
+  const std::vector<std::size_t> vslots{2, 9};
+  std::vector<std::vector<Tensor>> variants;
+  for (std::size_t slot : vslots) {
+    std::vector<Tensor> vs;
+    for (int i = 0; i < 4; ++i)
+      vs.push_back(random_tensor(net.node(slot).tensor.shape(), rng));
+    variants.push_back(std::move(vs));
+  }
+  const BatchedPlan bplan = plan.compile_batched(vslots, 5);
+  const std::vector<std::vector<std::size_t>> choice{{0, 1}, {3, 1}, {0, 1}, {2, 2}};
+  expect_batched_matches_per_term(net, plan, bplan, vslots, variants, choice);
+}
+
+TEST(BatchedPlan, SingleTermBatchMatches) {
+  std::mt19937_64 rng(41);
+  const Network net = ladder_network(23);
+  const ContractionPlan plan = ContractionPlan::compile(net);
+  const std::vector<std::size_t> vslots{4};
+  std::vector<std::vector<Tensor>> variants{{random_tensor(net.node(4).tensor.shape(), rng)}};
+  const BatchedPlan bplan = plan.compile_batched(vslots, 3, {}, nullptr,
+                                                 std::vector<std::size_t>{1});
+  expect_batched_matches_per_term(net, plan, bplan, vslots, variants, {{0}});
+}
+
+TEST(BatchedPlan, WorkspaceBudgetIsBatchAware) {
+  const Network net = ladder_network(24);
+  const ContractionPlan unbounded = ContractionPlan::compile(net);
+  ContractOptions opts;
+  opts.max_workspace_elems = unbounded.workspace_elems();
+
+  // The per-term plan fits its own arena exactly; a capacity-1 "batch" has
+  // identical buffer sizes and must also fit.
+  const ContractionPlan plan = ContractionPlan::compile(net, opts);
+  const std::vector<std::size_t> vslots{0, 3, 6, 9};
+  (void)plan.compile_batched(vslots, 1, opts);
+
+  // A real batch scales the varying buffers and keeps sequential-pass
+  // inputs alive, so the same budget must report MO at compile time.
+  EXPECT_THROW(plan.compile_batched(vslots, 8, opts), MemoryOutError);
+  const bench::RunOutcome out = bench::run_guarded([&] {
+    plan.compile_batched(vslots, 8, opts);
+    return 0.0;
+  });
+  EXPECT_EQ(out.status, bench::RunOutcome::Status::MemoryOut);
+  EXPECT_EQ(bench::format_time(out), "MO");
+}
+
+TEST(BatchedPlan, RejectsMoreVariantsThanDeclared) {
+  std::mt19937_64 rng(51);
+  const Network net = ladder_network(25);
+  const ContractionPlan plan = ContractionPlan::compile(net);
+  const std::vector<std::size_t> vslots{0};
+  const BatchedPlan bplan = plan.compile_batched(vslots, 4, {}, nullptr,
+                                                 std::vector<std::size_t>{1});
+  std::vector<const Tensor*> shared;
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) shared.push_back(&net.node(i).tensor);
+  const Tensor v0 = random_tensor(net.node(0).tensor.shape(), rng);
+  const Tensor v1 = random_tensor(net.node(0).tensor.shape(), rng);
+  std::vector<const Tensor*> varying{&v0, &v1};  // 2 distinct, 1 declared
+  PlanWorkspace ws;
+  EXPECT_THROW(bplan.execute(shared, varying, 2, ws), LinalgError);
+}
+
+TEST(BatchedPlan, StatsCountTermsAndActualKernels) {
+  std::mt19937_64 rng(61);
+  const Network net = ladder_network(26);
+  const ContractionPlan plan = ContractionPlan::compile(net);
+  const std::vector<std::size_t> vslots{0};
+  std::vector<Tensor> vs{random_tensor(net.node(0).tensor.shape(), rng),
+                         random_tensor(net.node(0).tensor.shape(), rng)};
+  const BatchedPlan bplan = plan.compile_batched(vslots, 4, {}, nullptr,
+                                                 std::vector<std::size_t>{2});
+  std::vector<const Tensor*> shared;
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) shared.push_back(&net.node(i).tensor);
+  std::vector<const Tensor*> varying{&vs[0], &vs[1], &vs[0], &vs[1]};
+  PlanWorkspace ws;
+  ContractStats stats;
+  bplan.execute(shared, varying, 4, ws, &stats);
+  EXPECT_EQ(stats.plan_executions, 4u);
+  EXPECT_EQ(stats.plan_reuse_hits, 3u);
+  // Only 2 distinct variants: shared rows / skips mean strictly fewer
+  // kernel calls than 4 full replays, and flops/bytes record actual work.
+  EXPECT_LT(stats.num_pairwise, 4 * plan.steps().size());
+  EXPECT_GT(stats.num_pairwise, 0u);
+  EXPECT_GT(stats.flops, 0u);
+  EXPECT_GT(stats.bytes_moved, 0u);
+  // A second replay through the same workspace is a reuse hit per term.
+  bplan.execute(shared, varying, 4, ws, &stats);
+  EXPECT_EQ(stats.plan_executions, 8u);
+  EXPECT_EQ(stats.plan_reuse_hits, 7u);
+}
+
+TEST(Plan, PerTermExecuteRecordsFlopsAndBytes) {
+  const Network net = ladder_network(27);
+  ContractStats stats;
+  const ContractionPlan plan = ContractionPlan::compile(net, {}, &stats);
+  PlanWorkspace ws;
+  plan.execute(net, ws, &stats);
+  EXPECT_EQ(stats.flops, plan.total_flops());
+  EXPECT_EQ(stats.bytes_moved, plan.total_bytes());
+  plan.execute(net, ws, &stats);
+  EXPECT_EQ(stats.flops, 2 * plan.total_flops());
+  EXPECT_EQ(stats.bytes_moved, 2 * plan.total_bytes());
+}
+
 }  // namespace
 }  // namespace noisim::tn
 
@@ -199,11 +366,13 @@ ch::NoisyCircuit fig4_workload(int n, std::size_t noises) {
   return bench::insert_noises(circuit, noises, bench::realistic_noise(), 500 + noises);
 }
 
-ApproxOptions tn_opts(std::size_t level, bool reuse, std::size_t threads) {
+ApproxOptions tn_opts(std::size_t level, bool reuse, std::size_t threads,
+                      std::size_t batch_terms = 1) {
   ApproxOptions opts;
   opts.level = level;
   opts.threads = threads;
   opts.reuse_plans = reuse;
+  opts.batch_terms = batch_terms;
   opts.eval.backend = EvalOptions::Backend::TensorNetwork;
   return opts;
 }
@@ -275,6 +444,111 @@ TEST(PlanReplay, ApproxAgreesWithStateVectorReference) {
   const ApproxResult tn_result = approximate_fidelity(nc, 0, 0, tn_opts(2, true, 1));
   const ApproxResult sv_result = approximate_fidelity(nc, 0, 0, sv);
   EXPECT_NEAR(tn_result.value, sv_result.value, 1e-9);
+}
+
+/// The skeleton approximate_fidelity / trajectories_tn contract has the
+/// same topology as the circuit with identity placeholders at the noise
+/// sites, so its per-term plan arena can be computed independently -- used
+/// by the workspace-budget tests below to pick budgets the per-term path
+/// fits exactly.
+std::size_t skeleton_arena_elems(const ch::NoisyCircuit& nc, bool conjugate,
+                                 const EvalOptions& eval) {
+  std::vector<qc::Gate> gates;
+  for (const ch::Op& op : nc.ops()) {
+    if (const qc::Gate* g = std::get_if<qc::Gate>(&op)) {
+      gates.push_back(*g);
+      continue;
+    }
+    const ch::NoiseOp& noise = std::get<ch::NoiseOp>(op);
+    gates.push_back(noise.num_qubits() == 1
+                        ? qc::u1q(noise.qubit, la::Matrix::identity(2))
+                        : qc::u2q(noise.qubit, noise.qubit2, la::Matrix::identity(4)));
+  }
+  const tn::Network net = amplitude_network(nc.num_qubits(), gates, 0, 0, conjugate);
+  return tn::ContractionPlan::compile(net, eval.tn).workspace_elems();
+}
+
+TEST(BatchedApprox, BitIdenticalAcrossBatchSizesLevels0To2) {
+  const ch::NoisyCircuit nc = fig4_workload(16, 3);
+  for (std::size_t level = 0; level <= 2; ++level) {
+    const ApproxResult per_term = approximate_fidelity(nc, 0, 0, tn_opts(level, true, 1, 1));
+    // Batch sizes that exceed, divide, and do NOT divide the term count
+    // (level 2 has 37 terms), so tail batches are exercised.
+    for (const std::size_t batch : {2, 7, 32}) {
+      const ApproxResult batched =
+          approximate_fidelity(nc, 0, 0, tn_opts(level, true, 1, batch));
+      expect_same_bits(per_term, batched);
+      EXPECT_EQ(batched.contractions, per_term.contractions);
+    }
+  }
+}
+
+TEST(BatchedApprox, BitIdenticalAcrossThreadCounts) {
+  const ch::NoisyCircuit nc = fig4_workload(16, 3);
+  const ApproxResult serial = approximate_fidelity(nc, 0, 0, tn_opts(2, true, 1, 7));
+  const ApproxResult threaded = approximate_fidelity(nc, 0, 0, tn_opts(2, true, 4, 7));
+  expect_same_bits(serial, threaded);
+}
+
+TEST(BatchedApprox, StatsCountBatchedCompilesAndReplays) {
+  const ch::NoisyCircuit nc = fig4_workload(16, 3);
+  const ApproxResult r = approximate_fidelity(nc, 0, 0, tn_opts(1, true, 1, 32));
+  // 2 per-term plans (top/bottom) + 2 batched plans compiled on top.
+  EXPECT_EQ(r.contract_stats.plans_compiled, 4u);
+  EXPECT_EQ(r.contract_stats.plan_executions, r.contractions);
+  EXPECT_EQ(r.contract_stats.plan_reuse_hits, r.contractions - 2);
+  EXPECT_GT(r.contract_stats.flops, 0u);
+  EXPECT_GT(r.contract_stats.bytes_moved, 0u);
+  EXPECT_GE(r.eval_seconds, 0.0);
+  EXPECT_GT(r.plan_seconds, 0.0);
+}
+
+TEST(BatchedApprox, WorkspaceBudgetTripsOnlyTheBatchedPath) {
+  const ch::NoisyCircuit nc = fig4_workload(16, 3);
+  // Single greedy weight so budgeted and unbudgeted compiles choose the
+  // same schedule; budget = exactly the per-term arena of the two layers.
+  ApproxOptions base = tn_opts(2, true, 1, 1);
+  base.eval.tn.greedy_cost_weights = {1.0};
+  base.eval.tn.max_workspace_elems = std::max(skeleton_arena_elems(nc, false, base.eval),
+                                              skeleton_arena_elems(nc, true, base.eval));
+
+  const ApproxResult per_term = approximate_fidelity(nc, 0, 0, base);
+  EXPECT_TRUE(std::isfinite(per_term.value));
+
+  // The batched arena cannot fit the per-term budget: MO surfaces at
+  // batched-plan compile time and the harness maps it to the paper's "MO".
+  ApproxOptions batched = base;
+  batched.batch_terms = 32;
+  EXPECT_THROW(approximate_fidelity(nc, 0, 0, batched), MemoryOutError);
+  const bench::RunOutcome out = bench::run_guarded([&] {
+    return approximate_fidelity(nc, 0, 0, batched).value;
+  });
+  EXPECT_EQ(out.status, bench::RunOutcome::Status::MemoryOut);
+  EXPECT_EQ(bench::format_time(out), "MO");
+}
+
+TEST(BatchedTrajectories, BudgetFallbackIsBitIdenticalToBatchedSampling) {
+  // trajectories_tn batches samples across each RNG chunk; when the batched
+  // plan exceeds the workspace budget it falls back to per-sample replay.
+  // Fallback and batched runs must produce the same estimate bit for bit --
+  // which is also the direct batched-vs-per-sample equivalence check.
+  const qc::Circuit circuit = bench::qaoa(9, 1, 5);
+  const ch::NoisyCircuit nc =
+      bench::insert_noises(circuit, 3, bench::depolarizing_noise(0.02), 17);
+  EvalOptions eval;
+  eval.backend = EvalOptions::Backend::TensorNetwork;
+  eval.tn.greedy_cost_weights = {1.0};
+  sim::ParallelOptions serial;
+  serial.threads = 1;
+
+  const sim::TrajectoryResult batched = trajectories_tn(nc, 0, 0, 200, 7, serial, eval);
+
+  EvalOptions budgeted = eval;
+  budgeted.tn.max_workspace_elems = skeleton_arena_elems(nc, false, eval);
+  const sim::TrajectoryResult fallback = trajectories_tn(nc, 0, 0, 200, 7, serial, budgeted);
+  EXPECT_EQ(batched.mean, fallback.mean);
+  EXPECT_EQ(batched.std_error, fallback.std_error);
+  EXPECT_EQ(batched.samples, fallback.samples);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Unit tests for dense tensors and pairwise contraction.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <random>
 
 #include "linalg/qr.hpp"
@@ -211,6 +212,132 @@ TEST_P(ContractBilinear, LinearInFirstArgument) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ContractBilinear, ::testing::Range(0, 8));
+
+Tensor random_tensor_with_zeros(std::vector<std::size_t> shape, std::mt19937_64& rng) {
+  // ~25% exact zeros so the kernels' zero-skip branch is exercised (its
+  // presence or absence can change the sign of zero results).
+  Tensor t = random_tensor(std::move(shape), rng);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    if (unif(rng) < 0.25) t[i] = cplx{0.0, 0.0};
+  return t;
+}
+
+bool same_bits(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+TEST(Kernels, MicrokernelDispatchIsBitIdenticalToGenericKernel) {
+  std::mt19937_64 rng(11);
+  // Shapes covering the panel kernels (k in {2,4,8,16}, n in {2,4}), the
+  // small fixed-k kernels (m*n <= 64), and generic fallbacks.
+  const std::vector<std::array<std::size_t, 3>> shapes{
+      {1, 2, 2},  {5, 2, 4},   {129, 4, 2}, {64, 4, 4},  {33, 8, 2}, {17, 16, 4},
+      {2, 2, 8},  {4, 4, 16},  {8, 2, 2},   {3, 4, 64},  {7, 3, 5},  {16, 4, 1024},
+      {4, 8, 37}, {70, 65, 3}, {2, 128, 2}, {128, 2, 66}};
+  for (const auto& [m, k, n] : shapes) {
+    const Tensor a = random_tensor_with_zeros({m, k}, rng);
+    const Tensor b = random_tensor_with_zeros({k, n}, rng);
+    std::vector<cplx> ref(m * n, cplx{0.0, 0.0}), got(m * n, cplx{0.0, 0.0});
+    detail::matmul_accumulate(a.data(), b.data(), ref.data(), m, k, n);
+    detail::select_matmul(m, k, n)(a.data(), b.data(), got.data(), m, k, n);
+    EXPECT_TRUE(same_bits(ref, got)) << "shape " << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(Kernels, BatchedMatchesPerSliceBitwise) {
+  std::mt19937_64 rng(12);
+  const std::size_t m = 6, k = 4, n = 9, batch = 5;
+  const Tensor a = random_tensor_with_zeros({batch, m, k}, rng);
+  const Tensor b = random_tensor_with_zeros({batch, k, n}, rng);
+  std::vector<cplx> ref(batch * m * n, cplx{0.0, 0.0}), got(ref.size(), cplx{0.0, 0.0});
+  for (std::size_t s = 0; s < batch; ++s)
+    detail::matmul_accumulate(a.data() + s * m * k, b.data() + s * k * n,
+                              ref.data() + s * m * n, m, k, n);
+  detail::matmul_accumulate_batched(a.data(), b.data(), got.data(), m, k, n, batch, m * k,
+                                    k * n, m * n);
+  EXPECT_TRUE(same_bits(ref, got));
+
+  // Stride 0 broadcasts an operand across the batch.
+  std::fill(ref.begin(), ref.end(), cplx{0.0, 0.0});
+  std::fill(got.begin(), got.end(), cplx{0.0, 0.0});
+  for (std::size_t s = 0; s < batch; ++s)
+    detail::matmul_accumulate(a.data(), b.data() + s * k * n, ref.data() + s * m * n, m, k, n);
+  detail::matmul_accumulate_batched(a.data(), b.data(), got.data(), m, k, n, batch, 0, k * n,
+                                    m * n);
+  EXPECT_TRUE(same_bits(ref, got));
+}
+
+TEST(Kernels, GatheredMatchesPermutedCopyBitwise) {
+  std::mt19937_64 rng(13);
+  // a stored as [k, m] (transposed), b stored as [n, k] (transposed):
+  // gather tables express the permutation the copies would apply.
+  const std::size_t m = 12, k = 4, n = 10;
+  const Tensor a_t = random_tensor_with_zeros({k, m}, rng);
+  const Tensor b_t = random_tensor_with_zeros({n, k}, rng);
+  const Tensor a = a_t.permute({1, 0});
+  const Tensor b = b_t.permute({1, 0});
+  std::vector<cplx> ref(m * n, cplx{0.0, 0.0}), got(m * n, cplx{0.0, 0.0});
+  detail::matmul_accumulate(a.data(), b.data(), ref.data(), m, k, n);
+
+  const std::vector<std::size_t> a_shape{m, k}, a_stride{1, m};
+  const std::vector<std::size_t> b_shape{k, n}, b_stride{1, k};
+  const std::vector<std::uint32_t> a_idx = permute_gather(a_shape, a_stride);
+  const std::vector<std::uint32_t> b_idx = permute_gather(b_shape, b_stride);
+  detail::matmul_accumulate_gathered(a_t.data(), a_idx.data(), b_t.data(), b_idx.data(),
+                                     got.data(), m, k, n);
+  EXPECT_TRUE(same_bits(ref, got));
+
+  // One-sided gather (a permuted, b already in kernel order).
+  std::fill(got.begin(), got.end(), cplx{0.0, 0.0});
+  detail::matmul_accumulate_gathered(a_t.data(), a_idx.data(), b.data(), nullptr, got.data(),
+                                     m, k, n);
+  EXPECT_TRUE(same_bits(ref, got));
+}
+
+TEST(Tensor, PermuteGatherMatchesPermuteWalk) {
+  std::mt19937_64 rng(14);
+  const Tensor t = random_tensor({3, 4, 2, 5}, rng);
+  const std::vector<std::size_t> perm{2, 0, 3, 1};
+  const Tensor ref = t.permute(perm);
+  const std::vector<std::size_t> strides = row_major_strides(t.shape());
+  std::vector<std::size_t> out_shape, src_stride;
+  for (std::size_t p : perm) {
+    out_shape.push_back(t.dim(p));
+    src_stride.push_back(strides[p]);
+  }
+  const std::vector<std::uint32_t> gather = permute_gather(out_shape, src_stride);
+  std::vector<cplx> got(t.size());
+  gather_walk(t.data(), gather, got.data());
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(ref[i], got[i]);
+}
+
+TEST(Tensor, RvalueReshapeMovesStorage) {
+  std::mt19937_64 rng(15);
+  Tensor t = random_tensor({4, 4}, rng);
+  const cplx* data = t.data();
+  const Tensor copy = t;
+  const Tensor reshaped = std::move(t).reshape({2, 2, 2, 2});
+  EXPECT_EQ(reshaped.data(), data);  // storage moved, not copied
+  EXPECT_EQ(reshaped.shape(), (std::vector<std::size_t>{2, 2, 2, 2}));
+  for (std::size_t i = 0; i < copy.size(); ++i) EXPECT_EQ(copy[i], reshaped[i]);
+}
+
+TEST(Tensor, RvalueIdentityPermuteMovesStorage) {
+  std::mt19937_64 rng(16);
+  Tensor t = random_tensor({2, 3, 4}, rng);
+  const cplx* data = t.data();
+  const Tensor moved = std::move(t).permute({0, 1, 2});
+  EXPECT_EQ(moved.data(), data);
+
+  // Non-identity permutations still copy (the walk cannot run in place).
+  Tensor u = random_tensor({2, 3}, rng);
+  const Tensor v = std::move(u).permute({1, 0});
+  EXPECT_EQ(v.shape(), (std::vector<std::size_t>{3, 2}));
+}
 
 }  // namespace
 }  // namespace noisim::tsr
