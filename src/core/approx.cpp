@@ -5,6 +5,7 @@
 #include <cmath>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "circuit/simplify.hpp"
@@ -130,6 +131,120 @@ std::vector<Term> enumerate_terms(const std::vector<Site>& sites, std::size_t le
   return out;
 }
 
+// Deterministic static partition shared by both sweeps: worker w owns a
+// contiguous, balanced index range (sizes differ by at most one, so no
+// worker sits idle), and the index-to-worker assignment is a pure function
+// of (total, threads). No two workers share an output slot, and reductions
+// run on the joined values in enumeration order either way.
+void run_partitioned(std::size_t threads, std::size_t total,
+                     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (threads <= 1) {
+    body(0, 0, total);
+    return;
+  }
+  const std::size_t base_size = total / threads;
+  const std::size_t remainder = total % threads;
+  std::vector<std::future<void>> workers;
+  std::size_t begin = 0;
+  for (std::size_t w = 0; w < threads; ++w) {
+    const std::size_t end = begin + base_size + (w < remainder ? 1 : 0);
+    workers.push_back(
+        std::async(std::launch::async, [&body, w, begin, end] { body(w, begin, end); }));
+    begin = end;
+  }
+  for (auto& f : workers) f.get();  // rethrows worker exceptions
+}
+
+// Shared progress accounting (the contract ApproxOptions::progress
+// documents): the counter is atomic and the possibly-not-thread-safe user
+// callback is serialized behind a mutex, incremented inside the lock so
+// observed values are strictly increasing by one.
+class SerializedProgress {
+ public:
+  explicit SerializedProgress(const std::function<void(std::size_t)>& callback)
+      : callback_(callback) {}
+  void note() {
+    if (callback_) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      callback_(++done_);
+    } else {
+      ++done_;
+    }
+  }
+
+ private:
+  const std::function<void(std::size_t)>& callback_;
+  std::atomic<std::size_t> done_{0};
+  std::mutex mutex_;
+};
+
+// Wall-clock split of a sweep: everything before eval_started() is the
+// upfront setup (network build + plan compilation, paid once per sweep),
+// everything after is the per-term evaluation loop.
+class SweepTimer {
+ public:
+  SweepTimer(double& plan_seconds, double& eval_seconds)
+      : plan_seconds_(plan_seconds), eval_seconds_(eval_seconds) {}
+  void eval_started() {
+    eval_started_ = Clock::now();
+    plan_seconds_ = std::chrono::duration<double>(eval_started_ - setup_started_).count();
+  }
+  void eval_done() {
+    eval_seconds_ = std::chrono::duration<double>(Clock::now() - eval_started_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  double& plan_seconds_;
+  double& eval_seconds_;
+  Clock::time_point setup_started_ = Clock::now();
+  Clock::time_point eval_started_{};
+};
+
+// Tensorized SVD factors per (site, term index) and the network node each
+// site substitutes, shared by both sweeps. The bottom template is built
+// with conjugate=true, which conjugates whatever matrix the site gate
+// carries; the seed path stored conj(V) there to apply V itself, and
+// conj(conj(V)) == V bitwise, so V enters the substitution directly.
+struct SiteFactors {
+  std::vector<std::size_t> node;                   // network node per site
+  std::vector<std::vector<tsr::Tensor>> top, bot;  // U / V factor tensors
+};
+SiteFactors build_site_factors(const std::vector<Site>& sites,
+                               const std::vector<std::size_t>& site_pos,
+                               const AmplitudeTemplate& tmpl) {
+  SiteFactors f;
+  const std::size_t num_sites = sites.size();
+  f.node.resize(num_sites);
+  f.top.resize(num_sites);
+  f.bot.resize(num_sites);
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    f.node[s] = tmpl.node_of_gate(site_pos[s]);
+    const Site& site = sites[s];
+    for (std::size_t t = 0; t < site.split.terms(); ++t) {
+      f.top[s].push_back(gate_matrix_tensor(site.split.u[t], static_cast<int>(site.arity)));
+      f.bot[s].push_back(gate_matrix_tensor(site.split.v[t], static_cast<int>(site.arity)));
+    }
+  }
+  return f;
+}
+
+// Error bounds: the paper's Theorem 1 when every site is 1-qubit, and the
+// generalized per-site product bound (numerically tight) always.
+void fill_error_bounds(const std::vector<Site>& sites, std::size_t level, double max_rate,
+                       double& error_bound, double& tight_error_bound) {
+  std::vector<double> dominant_norms, subdominant_norms;
+  bool all_1q = true;
+  for (const Site& s : sites) {
+    dominant_norms.push_back(la::spectral_norm(s.split.term(0)));
+    subdominant_norms.push_back(s.split.dominant_term_error());
+    if (s.arity != 1) all_1q = false;
+  }
+  tight_error_bound = generalized_error_bound(dominant_norms, subdominant_norms, level);
+  error_bound =
+      all_1q ? theorem1_error_bound(sites.size(), max_rate, level) : tight_error_bound;
+}
+
 }  // namespace
 
 ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
@@ -153,61 +268,17 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
   ApproxResult result;
   result.term_sums.assign(level + 1, cplx{0.0, 0.0});
 
-  // Shared progress accounting: the `done` counter is atomic and the
-  // (possibly user-supplied, not necessarily thread-safe) progress callback
-  // is serialized behind a mutex, incremented inside the lock so callback
-  // values are monotonic.
-  std::atomic<std::size_t> done{0};
-  std::mutex progress_mutex;
-  auto note_progress = [&] {
-    if (opts.progress) {
-      const std::lock_guard<std::mutex> lock(progress_mutex);
-      opts.progress(++done);
-    } else {
-      ++done;
-    }
-  };
+  SerializedProgress progress(opts.progress);
+  auto note_progress = [&] { progress.note(); };
 
-  // Deterministic static partition: worker w owns a contiguous, balanced
-  // index range (sizes differ by at most one, so no worker sits idle), and
-  // the term-to-worker assignment is a pure function of (terms, threads).
-  // No two workers share an output slot, and the reduction below runs on
-  // the joined values in enumeration order either way.
   std::vector<cplx> values(terms.size());
   const std::size_t threads =
       std::max<std::size_t>(1, std::min<std::size_t>(opts.threads, terms.size()));
-  auto run_partitioned = [&](const std::function<void(std::size_t, std::size_t, std::size_t)>&
-                                 body) {
-    if (threads <= 1) {
-      body(0, 0, terms.size());
-      return;
-    }
-    const std::size_t base_size = terms.size() / threads;
-    const std::size_t remainder = terms.size() % threads;
-    std::vector<std::future<void>> workers;
-    std::size_t begin = 0;
-    for (std::size_t w = 0; w < threads; ++w) {
-      const std::size_t end = begin + base_size + (w < remainder ? 1 : 0);
-      workers.push_back(
-          std::async(std::launch::async, [&body, w, begin, end] { body(w, begin, end); }));
-      begin = end;
-    }
-    for (auto& f : workers) f.get();  // rethrows worker exceptions
-  };
+  auto run_workers = [&](const std::function<void(std::size_t, std::size_t, std::size_t)>&
+                             body) { run_partitioned(threads, terms.size(), body); };
 
   std::vector<tn::ContractStats> worker_stats(threads);
-
-  using Clock = std::chrono::steady_clock;
-  const auto setup_started = Clock::now();
-  auto note_setup_done = [&] {
-    result.plan_seconds =
-        std::chrono::duration<double>(Clock::now() - setup_started).count();
-    return Clock::now();
-  };
-  auto note_eval_done = [&](Clock::time_point eval_started) {
-    result.eval_seconds =
-        std::chrono::duration<double>(Clock::now() - eval_started).count();
-  };
+  SweepTimer timer(result.plan_seconds, result.eval_seconds);
 
   if (opts.reuse_plans && uses_tensor_network(eval, n)) {
     // Plan/execute fast path: every term's top (bottom) network shares one
@@ -217,20 +288,10 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
     const AmplitudeTemplate top_tmpl(n, skeleton, psi_bits, v_bits, /*conjugate=*/false, eval);
     const AmplitudeTemplate bot_tmpl(n, skeleton, psi_bits, v_bits, /*conjugate=*/true, eval);
 
-    // Tensorized SVD factors per (site, term index). The bottom template is
-    // built with conjugate=true, which conjugates whatever matrix the site
-    // gate carries; the seed path stored conj(V) there to apply V itself,
-    // and conj(conj(V)) == V bitwise, so V enters the substitution directly.
-    std::vector<std::size_t> site_node(num_sites);
-    std::vector<std::vector<tsr::Tensor>> top_fac(num_sites), bot_fac(num_sites);
-    for (std::size_t s = 0; s < num_sites; ++s) {
-      site_node[s] = top_tmpl.node_of_gate(site_pos[s]);
-      const Site& site = base.sites[s];
-      for (std::size_t t = 0; t < site.split.terms(); ++t) {
-        top_fac[s].push_back(gate_matrix_tensor(site.split.u[t], static_cast<int>(site.arity)));
-        bot_fac[s].push_back(gate_matrix_tensor(site.split.v[t], static_cast<int>(site.arity)));
-      }
-    }
+    const SiteFactors fac = build_site_factors(base.sites, site_pos, top_tmpl);
+    const std::vector<std::size_t>& site_node = fac.node;
+    const std::vector<std::vector<tsr::Tensor>>& top_fac = fac.top;
+    const std::vector<std::vector<tsr::Tensor>>& bot_fac = fac.bot;
 
     // Batch size: ApproxOptions::batch_terms clamped to the term count;
     // <= 1 selects the per-term replay reference path below.
@@ -256,8 +317,8 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
       const tn::BatchedPlan bot_bplan = bot_tmpl.compile_batched(
           site_node, batch, &batched_compile_stats, variant_counts, level);
 
-      const auto eval_started = note_setup_done();
-      run_partitioned([&](std::size_t w, std::size_t begin, std::size_t end) {
+      timer.eval_started();
+      run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
         AmplitudeTemplate::BatchedSession top_session(top_tmpl, top_bplan);
         AmplitudeTemplate::BatchedSession bot_session(bot_tmpl, bot_bplan);
         std::vector<const tsr::Tensor*> top_ptrs(batch * num_sites);
@@ -288,11 +349,11 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
         worker_stats[w].merge(top_session.stats());
         worker_stats[w].merge(bot_session.stats());
       });
-      note_eval_done(eval_started);
+      timer.eval_done();
       result.contract_stats.merge(batched_compile_stats);
     } else {
-      const auto eval_started = note_setup_done();
-      run_partitioned([&](std::size_t w, std::size_t begin, std::size_t end) {
+      timer.eval_started();
+      run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
         AmplitudeTemplate::Session top_session = top_tmpl.session();
         AmplitudeTemplate::Session bot_session = bot_tmpl.session();
         std::vector<AmplitudeTemplate::Substitution> top_subs(num_sites), bot_subs(num_sites);
@@ -316,7 +377,7 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
         worker_stats[w].merge(top_session.stats());
         worker_stats[w].merge(bot_session.stats());
       });
-      note_eval_done(eval_started);
+      timer.eval_done();
     }
     result.contract_stats.merge(top_tmpl.compile_stats());
     result.contract_stats.merge(bot_tmpl.compile_stats());
@@ -342,13 +403,13 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
       return top_amp * bot_amp;
     };
 
-    const auto eval_started = note_setup_done();
-    run_partitioned([&](std::size_t w, std::size_t begin, std::size_t end) {
+    timer.eval_started();
+    run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
       std::vector<qc::Gate> top = skeleton, bottom = skeleton;
       for (std::size_t i = begin; i < end; ++i)
         values[i] = eval_term(terms[i], top, bottom, &worker_stats[w]);
     });
-    note_eval_done(eval_started);
+    timer.eval_done();
   }
 
   // Deterministic stats reduction in worker order.
@@ -363,19 +424,261 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
   result.contractions = 2 * terms.size();
   result.value = result.raw.real();
 
-  // Error bounds: the paper's Theorem 1 when every site is 1-qubit, and the
-  // generalized per-site product bound (numerically tight) always.
-  std::vector<double> dominant_norms, subdominant_norms;
-  bool all_1q = true;
-  for (const Site& s : base.sites) {
-    dominant_norms.push_back(la::spectral_norm(s.split.term(0)));
-    subdominant_norms.push_back(s.split.dominant_term_error());
-    if (s.arity != 1) all_1q = false;
+  fill_error_bounds(base.sites, level, nc.max_noise_rate(), result.error_bound,
+                    result.tight_error_bound);
+  return result;
+}
+
+ApproxBatchResult approximate_fidelity_outputs(const ch::NoisyCircuit& nc,
+                                               std::uint64_t psi_bits,
+                                               std::span<const std::uint64_t> v_bits,
+                                               const ApproxOptions& opts) {
+  const int n = nc.num_qubits();
+  const std::size_t K = v_bits.size();
+  BaseLists base = build_base(nc);
+  const std::size_t num_sites = base.sites.size();
+  const std::size_t level = std::min(opts.level, num_sites);
+
+  ApproxBatchResult result;
+  fill_error_bounds(base.sites, level, nc.max_noise_rate(), result.error_bound,
+                    result.tight_error_bound);
+  if (K == 0) return result;
+
+  std::vector<qc::Gate> skeleton = base.gates;
+  if (opts.eval.simplify) skeleton = qc::cancel_inverse_pairs(std::move(skeleton));
+  const std::vector<std::size_t> site_pos = locate_sites(skeleton, num_sites);
+
+  EvalOptions eval = opts.eval;
+  eval.simplify = false;  // already applied to the skeleton
+
+  const std::vector<Term> terms = enumerate_terms(base.sites, level);
+
+  // Progress counts TERMS (each term covers all K outputs), serialized and
+  // monotone exactly like the single-output sweep.
+  SerializedProgress progress(opts.progress);
+  auto note_progress = [&] { progress.note(); };
+
+  // Term-major value table: values[i * K + o] = term i at output o. Workers
+  // own disjoint term ranges; the per-output reduction below runs in
+  // enumeration order, so every output reproduces its single-output sweep
+  // bit for bit. (That contract is why the whole table is materialized --
+  // partial-sum merges would change the floating-point fold; very large
+  // K x terms sweeps should shard v_bits across calls instead.)
+  std::vector<cplx> values(terms.size() * K);
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min<std::size_t>(opts.threads, terms.size()));
+  auto run_workers = [&](const std::function<void(std::size_t, std::size_t, std::size_t)>&
+                             body) { run_partitioned(threads, terms.size(), body); };
+
+  std::vector<tn::ContractStats> worker_stats(threads);
+  SweepTimer timer(result.plan_seconds, result.eval_seconds);
+
+  if (opts.reuse_plans && uses_tensor_network(eval, n)) {
+    // The templates' own caps are placeholders: the output caps are always
+    // substituted (batched varying slots or per-output session subs).
+    const AmplitudeTemplate top_tmpl(n, skeleton, psi_bits, v_bits[0], /*conjugate=*/false,
+                                     eval);
+    const AmplitudeTemplate bot_tmpl(n, skeleton, psi_bits, v_bits[0], /*conjugate=*/true,
+                                     eval);
+
+    const SiteFactors fac = build_site_factors(base.sites, site_pos, top_tmpl);
+    const std::vector<std::size_t>& site_node = fac.node;
+    const std::vector<std::vector<tsr::Tensor>>& top_fac = fac.top;
+    const std::vector<std::vector<tsr::Tensor>>& bot_fac = fac.bot;
+
+    // Per-output cap pointer table (the template's shared <0|/<1| objects,
+    // so the executor's pointer compaction shares rows across bitstrings).
+    // Basis caps are real, so the same tensors serve the conjugated bottom
+    // layer.
+    const std::size_t nn = static_cast<std::size_t>(n);
+    std::vector<const tsr::Tensor*> caps_of_output(K * nn);
+    for (std::size_t o = 0; o < K; ++o)
+      top_tmpl.fill_output_caps(v_bits[o],
+                                std::span(caps_of_output).subspan(o * nn, nn));
+
+    // Combined varying slots: the noise sites keep Algorithm 1's per-term
+    // deviation promise (<= level), the output caps flip freely.
+    std::vector<std::size_t> slots = site_node;
+    const std::vector<std::size_t> cap_nodes = top_tmpl.output_cap_nodes();
+    slots.insert(slots.end(), cap_nodes.begin(), cap_nodes.end());
+    const std::size_t V = slots.size();
+    std::vector<std::size_t> counts(V, 2);
+    std::vector<char> unconstrained(V, 0);
+    for (std::size_t s = 0; s < num_sites; ++s) counts[s] = base.sites[s].split.terms();
+    for (std::size_t v = num_sites; v < V; ++v) unconstrained[v] = 1;
+
+    // One traversal covers a chunk of terms x (up to kOutputChunk) outputs.
+    // The term axis is additionally capped so a traversal holds at most
+    // kMaxPairs (term, output) pairs: past that the batched arena outgrows
+    // the cache and the per-row dispatch on near-distinct steps costs more
+    // than the cross-term sharing recovers (measured on the Fig. 4-style
+    // grid: ~256 pairs is the knee). batch_terms <= 1 keeps the term axis
+    // unbatched; each term still evaluates a whole output chunk at once.
+    constexpr std::size_t kOutputChunk = 32;
+    constexpr std::size_t kMaxPairs = 256;
+    const std::size_t out_chunk = std::min(K, kOutputChunk);
+    const std::size_t term_batch =
+        std::min({std::max<std::size_t>(opts.batch_terms, 1), terms.size(),
+                  std::max<std::size_t>(kMaxPairs / out_chunk, 1)});
+    const std::size_t capacity = term_batch * out_chunk;
+
+    tn::ContractStats batched_compile_stats;
+    std::optional<tn::BatchedPlan> top_bplan, bot_bplan;
+    try {
+      top_bplan.emplace(top_tmpl.compile_batched(slots, capacity, &batched_compile_stats,
+                                                 counts, level, unconstrained));
+      bot_bplan.emplace(bot_tmpl.compile_batched(slots, capacity, &batched_compile_stats,
+                                                 counts, level, unconstrained));
+      if (!output_batch_worthwhile(*top_bplan) || !output_batch_worthwhile(*bot_bplan)) {
+        top_bplan.reset();
+        bot_bplan.reset();
+      }
+    } catch (const MemoryOutError&) {
+      // Combined batch exceeds the workspace budget; the per-output plan
+      // replay below fits and is bit-identical.
+      top_bplan.reset();
+      bot_bplan.reset();
+    }
+
+    if (top_bplan && bot_bplan) {
+      timer.eval_started();
+      run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
+        AmplitudeTemplate::BatchedSession top_session(top_tmpl, *top_bplan);
+        AmplitudeTemplate::BatchedSession bot_session(bot_tmpl, *bot_bplan);
+        std::vector<const tsr::Tensor*> top_ptrs(capacity * V), bot_ptrs(capacity * V);
+        std::vector<cplx> top_amp(capacity), bot_amp(capacity);
+        for (std::size_t b0 = begin; b0 < end; b0 += term_batch) {
+          const std::size_t tcount = std::min(term_batch, end - b0);
+          for (std::size_t o0 = 0; o0 < K; o0 += out_chunk) {
+            const std::size_t ocount = std::min(out_chunk, K - o0);
+            const std::size_t kk = tcount * ocount;
+            for (std::size_t t = 0; t < tcount; ++t) {
+              const Term& term = terms[b0 + t];
+              for (std::size_t o = 0; o < ocount; ++o) {
+                const std::size_t p = (t * ocount + o) * V;
+                // Dominant factor everywhere, subdominant at the chosen
+                // sites; the output chunk's caps in the trailing slots.
+                for (std::size_t s = 0; s < num_sites; ++s) {
+                  top_ptrs[p + s] = &top_fac[s][0];
+                  bot_ptrs[p + s] = &bot_fac[s][0];
+                }
+                for (std::size_t c = 0; c < term.sites.size(); ++c) {
+                  const std::size_t s = term.sites[c];
+                  top_ptrs[p + s] = &top_fac[s][term.term_idx[c]];
+                  bot_ptrs[p + s] = &bot_fac[s][term.term_idx[c]];
+                }
+                for (std::size_t q = 0; q < nn; ++q) {
+                  top_ptrs[p + num_sites + q] = caps_of_output[(o0 + o) * nn + q];
+                  bot_ptrs[p + num_sites + q] = caps_of_output[(o0 + o) * nn + q];
+                }
+              }
+            }
+            top_session.evaluate(std::span(top_ptrs).first(kk * V), kk, top_amp);
+            bot_session.evaluate(std::span(bot_ptrs).first(kk * V), kk, bot_amp);
+            for (std::size_t t = 0; t < tcount; ++t)
+              for (std::size_t o = 0; o < ocount; ++o)
+                values[(b0 + t) * K + o0 + o] =
+                    top_amp[t * ocount + o] * bot_amp[t * ocount + o];
+          }
+          for (std::size_t t = 0; t < tcount; ++t) note_progress();
+        }
+        worker_stats[w].merge(top_session.stats());
+        worker_stats[w].merge(bot_session.stats());
+      });
+      timer.eval_done();
+      result.contract_stats.merge(batched_compile_stats);
+    } else {
+      // Per-output plan replay: site tensors and the output's caps go in as
+      // per-call session substitutions.
+      timer.eval_started();
+      run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
+        AmplitudeTemplate::Session top_session = top_tmpl.session();
+        AmplitudeTemplate::Session bot_session = bot_tmpl.session();
+        std::vector<AmplitudeTemplate::Substitution> top_subs(num_sites + nn),
+            bot_subs(num_sites + nn);
+        for (std::size_t i = begin; i < end; ++i) {
+          const Term& term = terms[i];
+          for (std::size_t s = 0; s < num_sites; ++s) {
+            top_subs[s] = {site_node[s], &top_fac[s][0]};
+            bot_subs[s] = {site_node[s], &bot_fac[s][0]};
+          }
+          for (std::size_t c = 0; c < term.sites.size(); ++c) {
+            const std::size_t s = term.sites[c];
+            top_subs[s].second = &top_fac[s][term.term_idx[c]];
+            bot_subs[s].second = &bot_fac[s][term.term_idx[c]];
+          }
+          for (std::size_t o = 0; o < K; ++o) {
+            for (std::size_t q = 0; q < nn; ++q) {
+              const AmplitudeTemplate::Substitution cap{cap_nodes[q],
+                                                        caps_of_output[o * nn + q]};
+              top_subs[num_sites + q] = cap;
+              bot_subs[num_sites + q] = cap;
+            }
+            const cplx top_amp = top_session.evaluate(top_subs);
+            const cplx bot_amp = bot_session.evaluate(bot_subs);
+            values[i * K + o] = top_amp * bot_amp;
+          }
+          note_progress();
+        }
+        worker_stats[w].merge(top_session.stats());
+        worker_stats[w].merge(bot_session.stats());
+      });
+      timer.eval_done();
+    }
+    result.contract_stats.merge(top_tmpl.compile_stats());
+    result.contract_stats.merge(bot_tmpl.compile_stats());
+  } else {
+    // Reference path (state-vector backend, or reuse_plans disabled): each
+    // term materializes its gate lists and evaluates every output through
+    // batch_amplitudes (one evolution / one template per layer per term).
+    auto eval_term = [&](const Term& term, std::vector<qc::Gate>& top,
+                         std::vector<qc::Gate>& bottom, tn::ContractStats* stats,
+                         std::size_t i) {
+      for (std::size_t s = 0; s < num_sites; ++s) {
+        std::size_t t = 0;
+        for (std::size_t c = 0; c < term.sites.size(); ++c)
+          if (term.sites[c] == s) t = term.term_idx[c];
+        top[site_pos[s]].custom = base.sites[s].split.u[t];
+        // The bottom layer is evaluated with conjugate=true (which
+        // conjugates every matrix), so store conj(V) to apply V itself.
+        bottom[site_pos[s]].custom = base.sites[s].split.v[t].conj();
+      }
+      const std::vector<cplx> top_amp =
+          batch_amplitudes(n, top, psi_bits, v_bits, /*conjugate=*/false, eval, stats);
+      const std::vector<cplx> bot_amp =
+          batch_amplitudes(n, bottom, psi_bits, v_bits, /*conjugate=*/true, eval, stats);
+      for (std::size_t o = 0; o < K; ++o) values[i * K + o] = top_amp[o] * bot_amp[o];
+      note_progress();
+    };
+
+    timer.eval_started();
+    run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
+      std::vector<qc::Gate> top = skeleton, bottom = skeleton;
+      for (std::size_t i = begin; i < end; ++i)
+        eval_term(terms[i], top, bottom, &worker_stats[w], i);
+    });
+    timer.eval_done();
   }
-  result.tight_error_bound = generalized_error_bound(dominant_norms, subdominant_norms, level);
-  result.error_bound = all_1q
-                           ? theorem1_error_bound(num_sites, nc.max_noise_rate(), level)
-                           : result.tight_error_bound;
+
+  // Deterministic stats reduction in worker order.
+  for (const tn::ContractStats& ws : worker_stats) result.contract_stats.merge(ws);
+
+  // Per-output deterministic reduction in enumeration order -- the same
+  // arithmetic, in the same order, as the output's single-output sweep.
+  result.values.assign(K, 0.0);
+  result.raw.assign(K, cplx{0.0, 0.0});
+  result.term_sums.assign(K, std::vector<cplx>(level + 1, cplx{0.0, 0.0}));
+  result.level_values.assign(K, {});
+  for (std::size_t o = 0; o < K; ++o) {
+    for (std::size_t i = 0; i < terms.size(); ++i)
+      result.term_sums[o][terms[i].level] += values[i * K + o];
+    for (std::size_t u = 0; u <= level; ++u) {
+      result.raw[o] += result.term_sums[o][u];
+      result.level_values[o].push_back(result.raw[o].real());
+    }
+    result.values[o] = result.raw[o].real();
+  }
+  result.contractions = 2 * terms.size() * K;
   return result;
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 
 #include "channels/noisy_circuit.hpp"
 #include "core/circuit_network.hpp"
@@ -25,8 +26,13 @@ struct ApproxOptions {
   /// Results are reduced in deterministic enumeration order either way.
   std::size_t threads = 1;
   /// Optional progress callback invoked after each term with the number of
-  /// terms evaluated so far (benchmarks use it for long sweeps). Called
-  /// from worker threads when threads > 1.
+  /// terms evaluated so far (benchmarks use it for long sweeps). With
+  /// threads > 1 the callback runs on worker threads but calls are
+  /// SERIALIZED behind an internal mutex -- never concurrent -- and the
+  /// reported counter is incremented inside that lock, so the observed
+  /// values are strictly increasing by one (call i sees exactly i). The
+  /// callback therefore needs no synchronization of its own; a slow
+  /// callback stalls the workers.
   std::function<void(std::size_t)> progress;
   /// Compile each layer's contraction plan once and replay it across all
   /// enumerated terms (every term's single-layer network shares one
@@ -88,6 +94,52 @@ struct ApproxResult {
 /// output states.
 ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
                                   std::uint64_t v_bits, const ApproxOptions& opts = {});
+
+/// approximate_fidelity evaluated at MANY output bitstrings in one sweep
+/// (sampling / cross-entropy workloads: the same circuit skeleton probed at
+/// every sampled bitstring). Output-independent work is shared:
+///  * the term enumeration, SVD splits, templates, and plans are built once;
+///  * on the tensor-network fast path the output-basis caps join the noise
+///    sites as varying slots of the batched plan, so each chunk of
+///    batch_terms terms x (up to 32) outputs executes in ONE traversal --
+///    steps outside every cone run once per chunk, noise-cone rows are
+///    shared across outputs, cap-cone rows across terms.
+/// outputs[o] is bit-identical to approximate_fidelity(nc, psi_bits,
+/// v_bits[o], opts) (same enumeration-order reduction per output); the
+/// progress callback still counts TERMS, not term x output pairs. When the
+/// combined batch exceeds max_workspace_elems the sweep falls back to
+/// per-output plan replay, which is bit-identical too.
+///
+/// Memory scales as O(terms x K) for the per-term value table (the exact
+/// enumeration-order reduction that backs the bit-identity contract needs
+/// every term's value per output). Very large sweeps -- high levels times
+/// thousands of bitstrings -- should shard v_bits across calls; the
+/// templates and plans are the expensive setup and they are rebuilt per
+/// call, so shards of a few hundred bitstrings keep that amortized.
+struct ApproxBatchResult {
+  /// A(l) per output bitstring (real part of raw[o]).
+  std::vector<double> values;
+  std::vector<cplx> raw;
+  /// Per-output partial sums: level_values[o][u] = A(u) at output o.
+  std::vector<std::vector<double>> level_values;
+  /// Per-output per-level term sums: term_sums[o][u] = T_u at output o.
+  std::vector<std::vector<cplx>> term_sums;
+  /// Logical single-layer contractions: 2 per enumerated term per output
+  /// (what the per-output reference path would perform; batching shares
+  /// work across them without changing the count).
+  std::size_t contractions = 0;
+  /// Error bounds are output-independent (Theorem 1 bounds the operator
+  /// deviation): same meaning as in ApproxResult.
+  double error_bound = 0.0;
+  double tight_error_bound = 0.0;
+  tn::ContractStats contract_stats;
+  double plan_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+ApproxBatchResult approximate_fidelity_outputs(const ch::NoisyCircuit& nc,
+                                               std::uint64_t psi_bits,
+                                               std::span<const std::uint64_t> v_bits,
+                                               const ApproxOptions& opts = {});
 
 /// Rewrite <v|E(rho)|v> with v = U_ideal |v_bits> into basis form by
 /// appending U_ideal^dagger to the circuit: <v|E(rho)|v> =

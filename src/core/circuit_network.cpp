@@ -1,5 +1,7 @@
 #include "core/circuit_network.hpp"
 
+#include <optional>
+
 #include "circuit/simplify.hpp"
 #include "sim/statevector.hpp"
 #include "tensor/contract.hpp"
@@ -86,7 +88,35 @@ AmplitudeTemplate::AmplitudeTemplate(int n, const std::vector<qc::Gate>& skeleto
     : net_(amplitude_network(n, skeleton, psi_bits, v_bits, conjugate)),
       copts_(resolve_tn_options(n, skeleton, opts)),
       plan_(tn::ContractionPlan::compile(net_, copts_, &compile_stats_)),
-      n_(n) {}
+      n_(n),
+      num_gates_(skeleton.size()),
+      cap_zero_(basis_state_tensor(false)),
+      cap_one_(basis_state_tensor(true)) {}
+
+std::vector<std::size_t> AmplitudeTemplate::output_cap_nodes() const {
+  std::vector<std::size_t> nodes(static_cast<std::size_t>(n_));
+  for (int q = 0; q < n_; ++q) nodes[static_cast<std::size_t>(q)] = node_of_output_cap(q);
+  return nodes;
+}
+
+void AmplitudeTemplate::fill_output_caps(std::uint64_t v_bits,
+                                         std::span<const tsr::Tensor*> ptrs) const {
+  la::detail::require(ptrs.size() >= static_cast<std::size_t>(n_),
+                      "fill_output_caps: pointer span too small");
+  for (int q = 0; q < n_; ++q)
+    ptrs[static_cast<std::size_t>(q)] = basis_bit(v_bits, n_, q) ? &cap_one_ : &cap_zero_;
+}
+
+tn::BatchedPlan AmplitudeTemplate::compile_batched_outputs(std::size_t capacity,
+                                                           tn::ContractStats* stats) const {
+  const std::vector<std::size_t> nodes = output_cap_nodes();
+  // Every cap is <0| or <1| and flips freely across a batch of bitstrings,
+  // so each slot carries 2 variants with no per-term deviation promise.
+  const std::vector<std::size_t> counts(nodes.size(), 2);
+  const std::vector<char> unconstrained(nodes.size(), 1);
+  return compile_batched(nodes, capacity, stats, counts, static_cast<std::size_t>(-1),
+                         unconstrained);
+}
 
 AmplitudeTemplate::Session::Session(const AmplitudeTemplate& tmpl) : tmpl_(&tmpl) {
   inputs_.reserve(tmpl.net_.num_nodes());
@@ -96,10 +126,28 @@ AmplitudeTemplate::Session::Session(const AmplitudeTemplate& tmpl) : tmpl_(&tmpl
 
 AmplitudeTemplate::BatchedSession::BatchedSession(const AmplitudeTemplate& tmpl,
                                                   const tn::BatchedPlan& bplan)
-    : bplan_(&bplan) {
+    : tmpl_(&tmpl), bplan_(&bplan) {
   shared_.reserve(tmpl.net_.num_nodes());
   for (std::size_t i = 0; i < tmpl.net_.num_nodes(); ++i)
     shared_.push_back(&tmpl.net_.node(i).tensor);
+}
+
+void AmplitudeTemplate::BatchedSession::evaluate(std::span<const Substitution> subs,
+                                                 std::span<const tsr::Tensor* const> ptrs,
+                                                 std::size_t k, std::span<cplx> out) {
+  // Validate every index BEFORE applying anything: a mid-application throw
+  // would leave earlier substitutions silently active in later calls.
+  for (const Substitution& s : subs)
+    la::detail::require(s.first < shared_.size(),
+                        "BatchedSession: substitution out of range");
+  for (const Substitution& s : subs) shared_[s.first] = s.second;
+  try {
+    evaluate(ptrs, k, out);
+  } catch (...) {
+    for (const Substitution& s : subs) shared_[s.first] = &tmpl_->net_.node(s.first).tensor;
+    throw;
+  }
+  for (const Substitution& s : subs) shared_[s.first] = &tmpl_->net_.node(s.first).tensor;
 }
 
 void AmplitudeTemplate::BatchedSession::evaluate(std::span<const tsr::Tensor* const> ptrs,
@@ -111,10 +159,11 @@ void AmplitudeTemplate::BatchedSession::evaluate(std::span<const tsr::Tensor* co
 }
 
 cplx AmplitudeTemplate::Session::evaluate(std::span<const Substitution> subs) {
-  for (const Substitution& s : subs) {
+  // Validate every index BEFORE applying anything: a mid-application throw
+  // would leave earlier substitutions silently active in later calls.
+  for (const Substitution& s : subs)
     la::detail::require(s.first < inputs_.size(), "AmplitudeTemplate: substitution out of range");
-    inputs_[s.first] = s.second;
-  }
+  for (const Substitution& s : subs) inputs_[s.first] = s.second;
   cplx value;
   try {
     value = tmpl_->plan_
@@ -130,8 +179,8 @@ cplx AmplitudeTemplate::Session::evaluate(std::span<const Substitution> subs) {
 
 namespace {
 
-cplx amplitude_sv(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_bits,
-                  std::uint64_t v_bits, bool conjugate) {
+sim::Statevector evolve_sv(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_bits,
+                           bool conjugate) {
   sim::Statevector sv = sim::Statevector::basis(n, psi_bits);
   for (const qc::Gate& g : gates) {
     la::Matrix m = g.matrix();
@@ -141,7 +190,12 @@ cplx amplitude_sv(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_b
     else
       sv.apply_matrix2(m, g.qubits[0], g.qubits[1]);
   }
-  return sv.amplitude(v_bits);
+  return sv;
+}
+
+cplx amplitude_sv(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_bits,
+                  std::uint64_t v_bits, bool conjugate) {
+  return evolve_sv(n, gates, psi_bits, conjugate).amplitude(v_bits);
 }
 
 }  // namespace
@@ -171,6 +225,75 @@ cplx amplitude(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_bits
       return contract_tn();
   }
   la::detail::fail("amplitude: unknown backend");
+}
+
+std::vector<cplx> batch_amplitudes(int n, const std::vector<qc::Gate>& gates,
+                                   std::uint64_t psi_bits,
+                                   std::span<const std::uint64_t> v_bits, bool conjugate,
+                                   const EvalOptions& opts, tn::ContractStats* stats) {
+  std::vector<cplx> out(v_bits.size());
+  if (v_bits.empty()) return out;
+
+  const std::vector<qc::Gate>* use = &gates;
+  std::vector<qc::Gate> reduced;
+  if (opts.simplify) {
+    reduced = qc::cancel_inverse_pairs(gates);
+    use = &reduced;
+  }
+  EvalOptions eval = opts;
+  eval.simplify = false;  // already applied to the shared gate list
+
+  if (!uses_tensor_network(eval, n)) {
+    // One forward evolution; every amplitude read off the same final state
+    // is bit-identical to its standalone amplitude() evaluation.
+    const sim::Statevector sv = evolve_sv(n, *use, psi_bits, conjugate);
+    for (std::size_t t = 0; t < v_bits.size(); ++t) out[t] = sv.amplitude(v_bits[t]);
+    return out;
+  }
+
+  // One compiled skeleton for every bitstring; the template's own caps are
+  // placeholders (the varying slots always substitute them).
+  const AmplitudeTemplate tmpl(n, *use, psi_bits, v_bits[0], conjugate, eval);
+  if (stats) stats->merge(tmpl.compile_stats());
+  const std::size_t nn = static_cast<std::size_t>(n);
+
+  // Output-batched chunks; per-bitstring plan replay (bit-identical) when
+  // the output-batched arena exceeds the workspace budget.
+  constexpr std::size_t kOutputBatch = 64;
+  const std::size_t cap = std::min(v_bits.size(), kOutputBatch);
+  std::optional<tn::BatchedPlan> bplan;
+  try {
+    bplan.emplace(tmpl.compile_batched_outputs(cap, stats));
+    if (!output_batch_worthwhile(*bplan)) bplan.reset();
+  } catch (const MemoryOutError&) {
+    // Batch-aware workspace budget exceeded; fall through to replay.
+  }
+  if (bplan) {
+    AmplitudeTemplate::BatchedSession session(tmpl, *bplan);
+    std::vector<const tsr::Tensor*> ptrs(cap * nn);
+    for (std::size_t b = 0; b < v_bits.size(); b += cap) {
+      const std::size_t k = std::min(cap, v_bits.size() - b);
+      for (std::size_t t = 0; t < k; ++t)
+        tmpl.fill_output_caps(v_bits[b + t], std::span(ptrs).subspan(t * nn, nn));
+      session.evaluate(std::span<const tsr::Tensor* const>(ptrs).first(k * nn), k,
+                       std::span<cplx>(out).subspan(b, k));
+    }
+    if (stats) stats->merge(session.stats());
+    return out;
+  }
+
+  AmplitudeTemplate::Session session = tmpl.session();
+  std::vector<AmplitudeTemplate::Substitution> subs(nn);
+  std::vector<const tsr::Tensor*> caps(nn);
+  for (std::size_t t = 0; t < v_bits.size(); ++t) {
+    tmpl.fill_output_caps(v_bits[t], caps);
+    for (int q = 0; q < n; ++q)
+      subs[static_cast<std::size_t>(q)] = {tmpl.node_of_output_cap(q),
+                                           caps[static_cast<std::size_t>(q)]};
+    out[t] = session.evaluate(subs);
+  }
+  if (stats) stats->merge(session.stats());
+  return out;
 }
 
 }  // namespace noisim::core

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -61,6 +62,23 @@ cplx amplitude(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_bits
                std::uint64_t v_bits, bool conjugate = false, const EvalOptions& opts = {},
                tn::ContractStats* stats = nullptr);
 
+/// Evaluate <v_t| gates |psi> for EVERY output bitstring v_t in `v_bits`
+/// with the circuit evaluated once: the state-vector backend runs the
+/// single forward evolution and reads all amplitudes off the final state;
+/// the tensor-network backend compiles the skeleton once and replays it
+/// output-batched (the basis caps become varying slots of a
+/// tn::BatchedPlan, so steps outside every cap's light cone run once per
+/// batch -- see AmplitudeTemplate::compile_batched_outputs). Element t is
+/// bit-identical to amplitude(n, gates, psi_bits, v_bits[t], ...) with the
+/// same options; if the output-batched workspace exceeds
+/// opts.tn.max_workspace_elems the call falls back to per-bitstring plan
+/// replay, which is bit-identical too.
+std::vector<cplx> batch_amplitudes(int n, const std::vector<qc::Gate>& gates,
+                                   std::uint64_t psi_bits,
+                                   std::span<const std::uint64_t> v_bits, bool conjugate = false,
+                                   const EvalOptions& opts = {},
+                                   tn::ContractStats* stats = nullptr);
+
 /// |0> or |1> as a rank-1 tensor (the networks' input/output caps).
 tsr::Tensor basis_state_tensor(bool one);
 
@@ -76,6 +94,16 @@ tsr::Tensor gate_matrix_tensor(const la::Matrix& m, int num_qubits);
 inline bool uses_tensor_network(const EvalOptions& opts, int n) {
   return opts.backend == EvalOptions::Backend::TensorNetwork ||
          (opts.backend == EvalOptions::Backend::Auto && n > opts.sv_max_qubits);
+}
+
+/// Caller policy shared by the output-batching paths (batch_amplitudes,
+/// approximate_fidelity_outputs, trajectories_tn_outputs): a compiled batch
+/// whose schedule is essentially ALL sequential (per-term) work -- the
+/// compile-time variant bounds found no step that terms could share -- can
+/// only add bookkeeping over plain per-bitstring plan replay, so those
+/// callers drop to their (bit-identical) per-bitstring path instead.
+inline bool output_batch_worthwhile(const tn::BatchedPlan& bp) {
+  return bp.sequential_flop_fraction() < 0.999;
 }
 
 /// Plan-once / replay-per-term amplitude evaluation.
@@ -105,6 +133,29 @@ class AmplitudeTemplate {
     return static_cast<std::size_t>(n_) + gate_index;
   }
 
+  /// Network node carrying qubit q's output cap <v_q| (for substitutions
+  /// and output-batched evaluation). Node order is: n input caps, the
+  /// skeleton's gates, n output caps.
+  std::size_t node_of_output_cap(int q) const {
+    return static_cast<std::size_t>(n_) + num_gates_ + static_cast<std::size_t>(q);
+  }
+
+  /// The n output-cap nodes in qubit order -- the varying slots
+  /// compile_batched_outputs declares.
+  std::vector<std::size_t> output_cap_nodes() const;
+
+  /// Shared <0| / <1| cap tensor (same values basis_state_tensor builds).
+  /// fill_output_caps hands out these two objects, so the batched
+  /// executor's pointer-identity compaction shares rows across bitstrings
+  /// that agree on a qubit.
+  const tsr::Tensor& output_cap(bool one) const { return one ? cap_one_ : cap_zero_; }
+
+  /// Write the n cap-tensor pointers for output bitstring `v_bits` to
+  /// ptrs[0..n): ptrs[q] = &output_cap(bit q of v_bits). The span must
+  /// hold at least n entries; extra entries are left untouched (callers
+  /// batching terms fill term-major blocks of a larger table).
+  void fill_output_caps(std::uint64_t v_bits, std::span<const tsr::Tensor*> ptrs) const;
+
   const tn::ContractionPlan& plan() const { return plan_; }
   /// Stats recorded while compiling the plan (plans_compiled = 1).
   const tn::ContractStats& compile_stats() const { return compile_stats_; }
@@ -121,10 +172,22 @@ class AmplitudeTemplate {
                                   tn::ContractStats* stats = nullptr,
                                   std::span<const std::size_t> variant_counts = {},
                                   std::size_t max_varied_per_term =
-                                      static_cast<std::size_t>(-1)) const {
+                                      static_cast<std::size_t>(-1),
+                                  std::span<const char> unconstrained = {}) const {
     return plan_.compile_batched(nodes, capacity, copts_, stats, variant_counts,
-                                 max_varied_per_term);
+                                 max_varied_per_term, unconstrained);
   }
+
+  /// Batched replay across OUTPUT BITSTRINGS: the n output-cap nodes become
+  /// the varying slots (2 variants each -- <0| and <1| -- exempt from any
+  /// per-term deviation promise, since a bitstring flips caps freely), so
+  /// one traversal evaluates the skeleton amplitude at up to `capacity`
+  /// output bitstrings. Steps outside every cap's light cone run once per
+  /// batch; cap-cone steps store one row per distinct projection of the
+  /// batch's bitstrings onto the cone's qubits. Throws MemoryOutError when
+  /// the batched arena exceeds the template's max_workspace_elems budget.
+  tn::BatchedPlan compile_batched_outputs(std::size_t capacity,
+                                          tn::ContractStats* stats = nullptr) const;
 
   /// (node index, replacement tensor) pair for Session::evaluate.
   using Substitution = std::pair<std::size_t, const tsr::Tensor*>;
@@ -166,10 +229,21 @@ class AmplitudeTemplate {
     /// varying nodes). Writes the k amplitudes to `out`.
     void evaluate(std::span<const tsr::Tensor* const> ptrs, std::size_t k,
                   std::span<cplx> out);
+    /// Like evaluate(ptrs, k, out) but with per-call substitutions at
+    /// SHARED (non-varying) nodes first: every term of the batch sees
+    /// subs[i].first's tensor replaced by *subs[i].second (shapes must
+    /// match). This is how one output-batched traversal evaluates a single
+    /// Algorithm-1 term or trajectory sample at many bitstrings -- the
+    /// term's noise-site tensors go in as shared substitutions, the caps
+    /// as varying slots. The substitutions are undone before returning.
+    void evaluate(std::span<const Substitution> subs,
+                  std::span<const tsr::Tensor* const> ptrs, std::size_t k,
+                  std::span<cplx> out);
     /// Contraction stats accumulated across evaluate calls.
     const tn::ContractStats& stats() const { return stats_; }
 
    private:
+    const AmplitudeTemplate* tmpl_;
     const tn::BatchedPlan* bplan_;
     tn::PlanWorkspace ws_;
     std::vector<const tsr::Tensor*> shared_;
@@ -185,6 +259,9 @@ class AmplitudeTemplate {
   tn::ContractOptions copts_;
   tn::ContractionPlan plan_;
   int n_ = 0;
+  std::size_t num_gates_ = 0;
+  // Shared <0| / <1| caps for output-batched evaluation (see output_cap).
+  tsr::Tensor cap_zero_, cap_one_;
 };
 
 }  // namespace noisim::core

@@ -1,9 +1,11 @@
 #include "core/trajectories_tn.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 
 namespace noisim::core {
 
@@ -18,6 +20,11 @@ struct TnSkeleton {
   std::vector<ch::UnitaryMixture> mixtures;
 };
 
+// Mixture probabilities may deviate from sum 1 by roundoff (tiny Kraus
+// terms are dropped by unitary_mixture, completeness is validated to 1e-9);
+// anything past this is an unnormalized channel, not noise.
+constexpr double kMixtureSumTol = 1e-6;
+
 TnSkeleton build_skeleton(const ch::NoisyCircuit& nc) {
   TnSkeleton sk;
   for (const ch::Op& op : nc.ops()) {
@@ -29,6 +36,21 @@ TnSkeleton build_skeleton(const ch::NoisyCircuit& nc) {
     auto mix = noise.channel.unitary_mixture();
     la::detail::require(mix.has_value(),
                         "trajectories_tn: channel is not a mixture of unitaries");
+    // Validate and normalize the mixture up front: the inverse-CDF sampler
+    // below assumes a probability distribution. An unnormalized mixture
+    // (e.g. a non-CPTP Kraus set) used to fall through sample_index and
+    // silently sample the LAST unitary with the whole missing mass.
+    la::detail::require(!mix->probs.empty(),
+                        "trajectories_tn: channel has no unitary component");
+    double sum = 0.0;
+    for (const double p : mix->probs) {
+      la::detail::require(p >= 0.0, "trajectories_tn: negative mixture probability");
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > kMixtureSumTol)
+      la::detail::fail("trajectories_tn: mixture probabilities sum to " +
+                       std::to_string(sum) + ", not 1 (unnormalized channel)");
+    for (double& p : mix->probs) p /= sum;
     sk.site_gate_index.push_back(sk.gates.size());
     if (noise.num_qubits() == 1)
       sk.gates.push_back(qc::u1q(noise.qubit, la::Matrix::identity(2)));
@@ -39,10 +61,15 @@ TnSkeleton build_skeleton(const ch::NoisyCircuit& nc) {
   return sk;
 }
 
-// Inverse-CDF draw from a (normalized) probability vector. Unlike
+// Inverse-CDF draw from a normalized probability vector. Unlike
 // std::discrete_distribution, this carries no state across calls, so the
-// engine's per-chunk RNG reseeding fully determines every draw.
+// engine's per-chunk RNG reseeding fully determines every draw. The
+// skeleton builder normalizes every mixture, so running past the last
+// bucket can only be top-of-CDF roundoff (u within a few ulp of 1);
+// anything bigger means the distribution is corrupted and fails loudly
+// instead of silently returning the last index.
 std::size_t sample_index(const std::vector<double>& probs, std::mt19937_64& rng) {
+  la::detail::require(!probs.empty(), "sample_index: empty probability vector");
   std::uniform_real_distribution<double> unif(0.0, 1.0);
   const double u = unif(rng);
   double cumulative = 0.0;
@@ -50,7 +77,10 @@ std::size_t sample_index(const std::vector<double>& probs, std::mt19937_64& rng)
     cumulative += probs[k];
     if (u < cumulative) return k;
   }
-  return probs.size() - 1;  // rounding fall-through
+  if (u >= cumulative + 1e-12)
+    la::detail::fail("sample_index: cumulative probability " + std::to_string(cumulative) +
+                     " leaves the draw uncovered (unnormalized distribution)");
+  return probs.size() - 1;  // top-of-CDF rounding only
 }
 
 // One trajectory through the per-call-planned path: sample a unitary per
@@ -155,7 +185,9 @@ bool plan_replay_applies(const EvalOptions& eval, int n) {
 sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
                                       std::uint64_t v_bits, std::size_t samples,
                                       std::mt19937_64& rng, const EvalOptions& eval) {
-  la::detail::require(samples > 0, "trajectories_tn: need at least one sample");
+  // Zero samples is a well-defined empty estimate; in particular it must
+  // not reach the plan context below (a capacity-0 batched plan).
+  if (samples == 0) return {};
   const int n = nc.num_qubits();
   TnSkeleton sk = build_skeleton(nc);
 
@@ -214,6 +246,9 @@ sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t 
                                       std::uint64_t v_bits, std::size_t samples,
                                       std::uint64_t seed, const sim::ParallelOptions& popts,
                                       const EvalOptions& eval) {
+  // Guard before the plan context: samples == 0 used to compile a
+  // capacity-0 batched plan through std::min(chunk_size, samples).
+  if (samples == 0) return {};
   const int n = nc.num_qubits();
   const TnSkeleton sk = build_skeleton(nc);
 
@@ -256,6 +291,118 @@ sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t 
     };
   };
   return sim::run_trajectories(samples, seed, make_sampler, popts);
+}
+
+std::vector<sim::TrajectoryResult> trajectories_tn_outputs(
+    const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+    std::span<const std::uint64_t> v_bits, std::size_t samples, std::uint64_t seed,
+    const sim::ParallelOptions& popts, const EvalOptions& eval) {
+  const std::size_t K = v_bits.size();
+  if (K == 0) return {};
+  if (samples == 0) return std::vector<sim::TrajectoryResult>(K);
+  const int n = nc.num_qubits();
+  const std::size_t nn = static_cast<std::size_t>(n);
+  const TnSkeleton sk = build_skeleton(nc);
+  const std::size_t num_sites = sk.mixtures.size();
+
+  if (plan_replay_applies(eval, n)) {
+    // Template + per-site tensors (batch_capacity 1: the term-batched plan
+    // of the single-output path is replaced by the output-batched plan
+    // below). The template's caps are placeholders -- always substituted.
+    const TnPlanContext ctx(nc, sk, psi_bits, v_bits[0], eval, /*batch_capacity=*/1);
+
+    // Shared read-only cap table: ptr identity drives row sharing across
+    // bitstrings that agree on a qubit.
+    std::vector<const tsr::Tensor*> caps_of_output(K * nn);
+    for (std::size_t o = 0; o < K; ++o)
+      ctx.tmpl.fill_output_caps(v_bits[o], std::span(caps_of_output).subspan(o * nn, nn));
+
+    constexpr std::size_t kOutputBatch = 32;
+    const std::size_t ocap = std::min(K, kOutputBatch);
+    std::optional<tn::BatchedPlan> obplan;
+    try {
+      obplan.emplace(ctx.tmpl.compile_batched_outputs(ocap));
+      if (!output_batch_worthwhile(*obplan)) obplan.reset();
+    } catch (const MemoryOutError&) {
+      // Batch-aware workspace budget exceeded; the per-output session
+      // replay below fits and produces bit-identical estimates.
+    }
+
+    if (obplan) {
+      auto make_sampler = [&](std::size_t) -> sim::MultiChunkSampler {
+        auto session =
+            std::make_shared<AmplitudeTemplate::BatchedSession>(ctx.tmpl, *obplan);
+        auto subs = std::make_shared<std::vector<AmplitudeTemplate::Substitution>>(num_sites);
+        auto ptrs = std::make_shared<std::vector<const tsr::Tensor*>>(ocap * nn);
+        auto amps = std::make_shared<std::vector<cplx>>(ocap);
+        return [&sk, &ctx, &caps_of_output, K, nn, ocap, num_sites, session, subs, ptrs,
+                amps](std::mt19937_64& rng, std::size_t count, std::span<double> out) {
+          for (std::size_t s = 0; s < count; ++s) {
+            // One draw set per trajectory, in sample order -- the same RNG
+            // consumption as every single-output path.
+            for (std::size_t site = 0; site < num_sites; ++site) {
+              const std::size_t j = sample_index(sk.mixtures[site].probs, rng);
+              (*subs)[site] = {ctx.site_node[site], &ctx.site_tensors[site][j]};
+            }
+            for (std::size_t o0 = 0; o0 < K; o0 += ocap) {
+              const std::size_t k = std::min(ocap, K - o0);
+              std::copy(caps_of_output.begin() + static_cast<std::ptrdiff_t>(o0 * nn),
+                        caps_of_output.begin() + static_cast<std::ptrdiff_t>((o0 + k) * nn),
+                        ptrs->begin());
+              session->evaluate(*subs, std::span(*ptrs).first(k * nn), k,
+                                std::span<cplx>(*amps));
+              for (std::size_t t = 0; t < k; ++t)
+                out[s * K + o0 + t] = std::norm((*amps)[t]);
+            }
+          }
+        };
+      };
+      return sim::run_trajectories_multi(samples, K, seed, make_sampler, popts);
+    }
+
+    auto make_sampler = [&](std::size_t) -> sim::MultiChunkSampler {
+      auto session = std::make_shared<AmplitudeTemplate::Session>(ctx.tmpl.session());
+      auto subs =
+          std::make_shared<std::vector<AmplitudeTemplate::Substitution>>(num_sites + nn);
+      return [&sk, &ctx, &caps_of_output, K, nn, num_sites, session, subs](
+                 std::mt19937_64& rng, std::size_t count, std::span<double> out) {
+        for (std::size_t s = 0; s < count; ++s) {
+          for (std::size_t site = 0; site < num_sites; ++site) {
+            const std::size_t j = sample_index(sk.mixtures[site].probs, rng);
+            (*subs)[site] = {ctx.site_node[site], &ctx.site_tensors[site][j]};
+          }
+          for (std::size_t o = 0; o < K; ++o) {
+            for (std::size_t q = 0; q < nn; ++q)
+              (*subs)[num_sites + q] = {ctx.tmpl.node_of_output_cap(static_cast<int>(q)),
+                                        caps_of_output[o * nn + q]};
+            out[s * K + o] = std::norm(session->evaluate(*subs));
+          }
+        }
+      };
+    };
+    return sim::run_trajectories_multi(samples, K, seed, make_sampler, popts);
+  }
+
+  // Non-replay backends: sample the gate list once per trajectory and score
+  // every bitstring through batch_amplitudes (the state-vector backend runs
+  // one evolution per sample instead of K).
+  auto make_sampler = [&](std::size_t) -> sim::MultiChunkSampler {
+    auto gates = std::make_shared<std::vector<qc::Gate>>(sk.gates);
+    return [&sk, gates, n, psi_bits, v_bits, K, eval](std::mt19937_64& rng,
+                                                      std::size_t count,
+                                                      std::span<double> out) {
+      for (std::size_t s = 0; s < count; ++s) {
+        for (std::size_t site = 0; site < sk.mixtures.size(); ++site) {
+          const std::size_t j = sample_index(sk.mixtures[site].probs, rng);
+          (*gates)[sk.site_gate_index[site]].custom = sk.mixtures[site].unitaries[j];
+        }
+        const std::vector<cplx> amps =
+            batch_amplitudes(n, *gates, psi_bits, v_bits, /*conjugate=*/false, eval);
+        for (std::size_t o = 0; o < K; ++o) out[s * K + o] = std::norm(amps[o]);
+      }
+    };
+  };
+  return sim::run_trajectories_multi(samples, K, seed, make_sampler, popts);
 }
 
 }  // namespace noisim::core

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
+#include <vector>
 
 #include "channels/noisy_circuit.hpp"
 #include "core/circuit_network.hpp"
@@ -19,7 +21,10 @@
 namespace noisim::core {
 
 /// Estimate <v|E(|psi><psi|)|v> with `samples` TN trajectories. Throws
-/// LinalgError if any noise channel is not a mixture of unitaries.
+/// LinalgError if any noise channel is not a mixture of unitaries or if a
+/// mixture's probabilities do not sum to 1 beyond roundoff (unnormalized
+/// channels would silently skew the inverse-CDF sampling).
+/// samples == 0 returns the well-defined empty estimate.
 sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
                                       std::uint64_t v_bits, std::size_t samples,
                                       std::mt19937_64& rng, const EvalOptions& eval = {});
@@ -31,5 +36,21 @@ sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t 
                                       std::uint64_t v_bits, std::size_t samples,
                                       std::uint64_t seed, const sim::ParallelOptions& popts,
                                       const EvalOptions& eval = {});
+
+/// Estimate <v_t|E(|psi><psi|)|v_t> for EVERY output bitstring in `v_bits`
+/// from ONE set of sampled trajectories: each trajectory draws its site
+/// unitaries once and scores all K bitstrings on the same sampled circuit
+/// -- on the tensor-network path through ONE output-batched plan traversal
+/// per sample (the basis caps are the varying slots; the sampled unitaries
+/// enter as shared substitutions). Element t is bit-identical to
+/// trajectories_tn(nc, psi_bits, v_bits[t], samples, seed, popts, eval):
+/// the per-sample draws depend only on (seed, chunk_size). Estimates are
+/// correlated across bitstrings (they share the noise realizations), which
+/// is exactly what sampling / XEB workloads want. samples == 0 returns K
+/// well-defined empty estimates.
+std::vector<sim::TrajectoryResult> trajectories_tn_outputs(
+    const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+    std::span<const std::uint64_t> v_bits, std::size_t samples, std::uint64_t seed,
+    const sim::ParallelOptions& popts, const EvalOptions& eval = {});
 
 }  // namespace noisim::core

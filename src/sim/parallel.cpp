@@ -66,8 +66,10 @@ std::mt19937_64 chunk_rng(std::uint64_t seed, std::uint64_t chunk_index) {
 TrajectoryResult run_trajectories_chunked(std::size_t samples, std::uint64_t seed,
                                           const ChunkSamplerFactory& make_sampler,
                                           const ParallelOptions& opts) {
-  la::detail::require(samples > 0, "run_trajectories: need at least one sample");
   la::detail::require(opts.chunk_size > 0, "run_trajectories: chunk_size must be positive");
+  // Zero samples is a well-defined (empty) estimate, not an error: sweep
+  // drivers that partition a sample budget can land on empty shards.
+  if (samples == 0) return {};
 
   const std::size_t num_chunks = (samples + opts.chunk_size - 1) / opts.chunk_size;
   const std::size_t threads =
@@ -111,6 +113,62 @@ TrajectoryResult run_trajectories_chunked(std::size_t samples, std::uint64_t see
   out.mean = total.mean;
   if (total.count > 1)
     out.std_error = std::sqrt(total.variance() / static_cast<double>(total.count));
+  return out;
+}
+
+std::vector<TrajectoryResult> run_trajectories_multi(
+    std::size_t samples, std::size_t num_estimates, std::uint64_t seed,
+    const MultiChunkSamplerFactory& make_sampler, const ParallelOptions& opts) {
+  la::detail::require(opts.chunk_size > 0, "run_trajectories: chunk_size must be positive");
+  std::vector<TrajectoryResult> out(num_estimates);
+  if (samples == 0 || num_estimates == 0) return out;
+
+  const std::size_t num_chunks = (samples + opts.chunk_size - 1) / opts.chunk_size;
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min(resolve_threads(opts.threads), num_chunks));
+
+  // Per-chunk per-estimate accumulators: estimate o's stream through chunk
+  // c is exactly what the single-estimate runner would accumulate, so the
+  // chunk-order merge below reproduces it bit for bit.
+  std::vector<Welford> chunk_stats(num_chunks * num_estimates);
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&](std::size_t w) {
+    MultiChunkSampler sampler = make_sampler(w);
+    std::vector<double> values(opts.chunk_size * num_estimates);
+    while (true) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const std::size_t begin = c * opts.chunk_size;
+      const std::size_t count = std::min(begin + opts.chunk_size, samples) - begin;
+      std::mt19937_64 rng = chunk_rng(seed, c);
+      sampler(rng, count, std::span<double>(values.data(), count * num_estimates));
+      for (std::size_t o = 0; o < num_estimates; ++o) {
+        Welford& stats = chunk_stats[c * num_estimates + o];
+        for (std::size_t s = 0; s < count; ++s) stats.add(values[s * num_estimates + o]);
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w)
+      futures.push_back(std::async(std::launch::async, worker, w));
+    for (auto& f : futures) f.get();  // rethrows worker exceptions
+  }
+
+  for (std::size_t o = 0; o < num_estimates; ++o) {
+    Welford total;
+    for (std::size_t c = 0; c < num_chunks; ++c)
+      total.merge(chunk_stats[c * num_estimates + o]);
+    out[o].samples = total.count;
+    out[o].mean = total.mean;
+    if (total.count > 1)
+      out[o].std_error = std::sqrt(total.variance() / static_cast<double>(total.count));
+  }
   return out;
 }
 

@@ -79,6 +79,8 @@ using ChunkSamplerFactory = std::function<ChunkSampler(std::size_t worker)>;
 
 /// Run `samples` trajectories with work-stealing over seed-indexed chunks.
 /// The result is identical for any `opts.threads` (including 1).
+/// samples == 0 returns the well-defined empty estimate (0 samples, mean 0,
+/// no error bar) without invoking the sampler.
 TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
                                   const SamplerFactory& make_sampler,
                                   const ParallelOptions& opts = {});
@@ -93,5 +95,27 @@ TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
 TrajectoryResult run_trajectories_chunked(std::size_t samples, std::uint64_t seed,
                                           const ChunkSamplerFactory& make_sampler,
                                           const ParallelOptions& opts = {});
+
+/// Fill one chunk's samples for MANY estimates at once:
+/// values[s * num_estimates + o] = trajectory s scored for estimate o
+/// (s < the passed sample count). Per-sample randomness must be drawn in
+/// sample order exactly as the single-estimate path would -- one draw set
+/// per trajectory, shared by every estimate -- so each estimate's stream
+/// matches its standalone run bit for bit.
+using MultiChunkSampler =
+    std::function<void(std::mt19937_64&, std::size_t, std::span<double>)>;
+/// Per-worker multi-estimate sampler factory (owns scratch).
+using MultiChunkSamplerFactory = std::function<MultiChunkSampler(std::size_t worker)>;
+
+/// run_trajectories_chunked over `num_estimates` estimates that share every
+/// trajectory's randomness (e.g. one sampled noise realization scored at
+/// many output bitstrings). Returns one TrajectoryResult per estimate;
+/// estimate o is bit-identical to the single-estimate runner fed stream o
+/// (same chunking, same per-chunk Welford accumulation, same chunk-order
+/// merge). samples == 0 yields well-defined empty estimates (0 samples,
+/// mean 0).
+std::vector<TrajectoryResult> run_trajectories_multi(
+    std::size_t samples, std::size_t num_estimates, std::uint64_t seed,
+    const MultiChunkSamplerFactory& make_sampler, const ParallelOptions& opts = {});
 
 }  // namespace noisim::sim

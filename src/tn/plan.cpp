@@ -71,6 +71,50 @@ struct Candidate {
   }
 };
 
+/// First-occurrence probe table for the batched executor's dedup scans:
+/// maps a 64-bit key to the first index that inserted it, with collisions
+/// re-checked through the caller's equality predicate. Replacing the
+/// executor's linear first-occurrence scans with this keeps the mapping --
+/// and therefore every replayed bit -- IDENTICAL (the stored entry is
+/// always the earliest index with equal keys) while dropping the scans
+/// from O(k^2) to O(k), which is what keeps wide batches (terms x output
+/// bitstrings) from drowning in bookkeeping.
+class DedupTable {
+ public:
+  DedupTable(std::vector<std::uint32_t>& slots, std::size_t expected) : slots_(slots) {
+    std::size_t cap = 16;
+    while (cap < 2 * expected) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, 0);
+  }
+
+  /// Returns the first index previously inserted with an equal key (as
+  /// decided by `same`), or inserts `value` and returns it.
+  template <class Eq>
+  std::uint32_t find_or_insert(std::uint64_t key, std::uint32_t value, Eq&& same) {
+    std::size_t h = mix(key) & mask_;
+    while (slots_[h] != 0) {
+      const std::uint32_t cand = slots_[h] - 1;
+      if (same(cand)) return cand;
+      h = (h + 1) & mask_;
+    }
+    slots_[h] = value + 1;
+    return value;
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+  std::vector<std::uint32_t>& slots_;
+  std::size_t mask_ = 0;
+};
+
 }  // namespace
 
 /// Shape-and-edge-only replica of the contractor's working state: merges
@@ -547,10 +591,13 @@ BatchedPlan ContractionPlan::compile_batched(std::span<const std::size_t> varyin
                                              std::size_t capacity, const ContractOptions& opts,
                                              ContractStats* stats,
                                              std::span<const std::size_t> variant_counts,
-                                             std::size_t max_varied_per_term) const {
+                                             std::size_t max_varied_per_term,
+                                             std::span<const char> unconstrained) const {
   la::detail::require(capacity >= 1, "compile_batched: capacity must be positive");
   la::detail::require(variant_counts.empty() || variant_counts.size() == varying_slots.size(),
                       "compile_batched: one variant count per varying slot");
+  la::detail::require(unconstrained.empty() || unconstrained.size() == varying_slots.size(),
+                      "compile_batched: one unconstrained flag per varying slot");
   for (std::size_t c : variant_counts)
     la::detail::require(c >= 1, "compile_batched: variant counts must be positive");
   const std::size_t num_in = input_elems_.size();
@@ -594,23 +641,35 @@ BatchedPlan ContractionPlan::compile_batched(std::span<const std::size_t> varyin
   // (cone masks only grow), so execution is two clean passes.
   std::vector<char> slot_varying(num_in + steps_.size(), 0);
   std::vector<char> slot_seq(num_in + steps_.size(), 0);
-  std::vector<std::uint64_t> slot_mask(num_in + steps_.size(), 0);
-  const bool track_cones = varying_slots.size() <= 64 && !variant_counts.empty();
+  // Cone masks are multi-word bitsets over the varying slots, so the
+  // tracking (and the row bounds it buys) works at any slot count -- the
+  // output-batching axis alone contributes n slots, which blows past a
+  // single word well inside the XEB regime.
+  const bool track_cones = !variant_counts.empty();
+  const std::size_t words = track_cones ? (varying_slots.size() + 63) / 64 : 1;
+  std::vector<std::uint64_t> slot_mask((num_in + steps_.size()) * words, 0);
   for (std::size_t i = 0; i < num_in; ++i)
     slot_varying[i] = bp.varying_index_of_input_[i] >= 0 ? 1 : 0;
   if (track_cones)
     for (std::size_t v = 0; v < varying_slots.size(); ++v)
-      slot_mask[varying_slots[v]] = std::uint64_t{1} << v;
+      slot_mask[varying_slots[v] * words + v / 64] |= std::uint64_t{1} << (v % 64);
   const std::size_t degree = std::min(max_varied_per_term, varying_slots.size());
   std::vector<std::size_t> coeff;  // e_j DP scratch for mask_bound
-  auto mask_bound = [&](std::uint64_t mask) -> std::size_t {
-    // Distinct values = sum over j <= degree of the j-th elementary
-    // symmetric sum of (count_v - 1) over the cone's slots (choose which j
-    // sites deviate from variant 0 and which deviation each takes),
-    // clamped at the capacity.
+  auto mask_bound = [&](const std::uint64_t* mask) -> std::size_t {
+    // Distinct values = (product of the unconstrained cone slots' variant
+    // counts -- those flip freely per term) times the sum over j <= degree
+    // of the j-th elementary symmetric sum of (count_v - 1) over the
+    // cone's constrained slots (choose which j sites deviate from variant
+    // 0 and which deviation each takes), everything clamped at the
+    // capacity.
+    std::size_t free_prod = 1;
     coeff.assign(1, 1);
     for (std::size_t v = 0; v < varying_slots.size(); ++v) {
-      if (!(mask & (std::uint64_t{1} << v))) continue;
+      if (!(mask[v / 64] & (std::uint64_t{1} << (v % 64)))) continue;
+      if (!unconstrained.empty() && unconstrained[v]) {
+        free_prod = std::min(capacity, free_prod * variant_counts[v]);
+        continue;
+      }
       const std::size_t d = variant_counts[v] - 1;
       if (coeff.size() <= degree) coeff.push_back(0);
       for (std::size_t j = coeff.size() - 1; j >= 1; --j)
@@ -618,7 +677,7 @@ BatchedPlan ContractionPlan::compile_batched(std::span<const std::size_t> varyin
     }
     std::size_t bound = 0;
     for (std::size_t c : coeff) bound = std::min(capacity, bound + c);
-    return bound;
+    return std::min(capacity, free_prod * bound);
   };
   // A step goes sequential when batching it would stream big, barely
   // shared buffers through memory: sharing below ~2x (row bound near the
@@ -666,7 +725,9 @@ BatchedPlan ContractionPlan::compile_batched(std::span<const std::size_t> varyin
     if (!step.identity_b && tsr::permute_gather_applies(step.b_elems))
       bs.b_gather = tsr::permute_gather(step.b_perm_shape, step.b_src_stride);
 
-    const std::uint64_t mask = slot_mask[step.lhs] | slot_mask[step.rhs];
+    std::uint64_t* mask = slot_mask.data() + (num_in + s) * words;
+    for (std::size_t w = 0; w < words; ++w)
+      mask[w] = slot_mask[step.lhs * words + w] | slot_mask[step.rhs * words + w];
     if (!bs.varying_out)
       bs.row_bound = 1;
     else if (track_cones)
@@ -677,7 +738,6 @@ BatchedPlan ContractionPlan::compile_batched(std::span<const std::size_t> varyin
                              (step.rhs >= num_in && slot_seq[step.rhs]);
     bs.sequential = operand_seq || (bs.varying_out && bs.row_bound >= seq_threshold &&
                                     step.out_elems >= kSeqMinElems);
-    slot_mask[num_in + s] = mask;
 
     if (bs.sequential) {
       // One row per step, NEVER recycled: the cross-term variant skip keeps
@@ -697,6 +757,8 @@ BatchedPlan ContractionPlan::compile_batched(std::span<const std::size_t> varyin
     slot_varying[num_in + s] = bs.varying_out ? 1 : 0;
     slot_seq[num_in + s] = bs.sequential ? 1 : 0;
     slot_offset[num_in + s] = bs.out_offset;
+    bp.term_flops_ += step.m * step.k * step.n;
+    if (bs.sequential) bp.seq_flops_ += step.m * step.k * step.n;
     bp.steps_.push_back(std::move(bs));
   }
   // Sequential buffers live above the batched region in one allocation.
@@ -775,16 +837,17 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
   // t's. Identical pointers => identical bits downstream, which is what the
   // per-step compaction scan propagates.
   ws.in_vids.resize(V * k);
-  for (std::size_t v = 0; v < V; ++v)
+  for (std::size_t v = 0; v < V; ++v) {
+    DedupTable table(ws.htab, k);
     for (std::size_t t = 0; t < k; ++t) {
-      std::uint32_t id = static_cast<std::uint32_t>(t);
-      for (std::size_t t0 = 0; t0 < t; ++t0)
-        if (varying[t0 * V + v] == varying[t * V + v]) {
-          id = ws.in_vids[v * k + t0];
-          break;
-        }
-      ws.in_vids[v * k + t] = id;
+      const tsr::Tensor* ptr = varying[t * V + v];
+      const std::uint32_t first = table.find_or_insert(
+          reinterpret_cast<std::uintptr_t>(ptr), static_cast<std::uint32_t>(t),
+          [&](std::uint32_t cand) { return varying[cand * V + v] == ptr; });
+      ws.in_vids[v * k + t] = first == t ? static_cast<std::uint32_t>(t)
+                                         : ws.in_vids[v * k + first];
     }
+  }
 
   // Variant key of a slot for term t (uniform slots are key 0; varying
   // intermediates the unique-row index, varying inputs the first term with
@@ -839,13 +902,15 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
         ws.key_b[t] = slot_key(st.rhs, t);
       }
       rows = 0;
+      DedupTable table(ws.htab, k);
       for (std::size_t t = 0; t < k; ++t) {
-        std::uint32_t row = static_cast<std::uint32_t>(rows);
-        for (std::size_t u = 0; u < rows; ++u)
-          if (ws.ukey_a[u] == ws.key_a[t] && ws.ukey_b[u] == ws.key_b[t]) {
-            row = static_cast<std::uint32_t>(u);
-            break;
-          }
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(ws.key_a[t]) |
+            (static_cast<std::uint64_t>(ws.key_b[t]) << 32);
+        const std::uint32_t row = table.find_or_insert(
+            key, static_cast<std::uint32_t>(rows), [&](std::uint32_t cand) {
+              return ws.ukey_a[cand] == ws.key_a[t] && ws.ukey_b[cand] == ws.key_b[t];
+            });
         if (row == rows) {
           la::detail::require(rows < st.row_bound,
                               "BatchedPlan::execute: more distinct substituted tensors than "
@@ -953,19 +1018,19 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
     ws.term_rep.resize(k);
     for (std::size_t t = 0; t < k; ++t)
       for (std::size_t b = 0; b < B; ++b) ws.sig[t * B + b] = slot_key(boundary_[b], t);
-    for (std::size_t t = 0; t < k; ++t) {
-      std::uint32_t rep = static_cast<std::uint32_t>(t);
-      for (std::size_t t0 = 0; t0 < t; ++t0) {
-        if (ws.term_rep[t0] != t0) continue;
-        bool same = true;
-        for (std::size_t b = 0; b < B && same; ++b)
-          same = ws.sig[t0 * B + b] == ws.sig[t * B + b];
-        if (same) {
-          rep = static_cast<std::uint32_t>(t0);
-          break;
-        }
+    {
+      DedupTable table(ws.htab, k);
+      for (std::size_t t = 0; t < k; ++t) {
+        std::uint64_t key = 0xcbf29ce484222325ULL;  // FNV-1a fold of the row
+        for (std::size_t b = 0; b < B; ++b)
+          key = (key ^ ws.sig[t * B + b]) * 0x100000001b3ULL;
+        ws.term_rep[t] = table.find_or_insert(
+            key, static_cast<std::uint32_t>(t), [&](std::uint32_t cand) {
+              for (std::size_t b = 0; b < B; ++b)
+                if (ws.sig[cand * B + b] != ws.sig[t * B + b]) return false;
+              return true;
+            });
       }
-      ws.term_rep[t] = rep;
     }
 
     // Per-step variant representatives: vids[s*k + t] is the first term
@@ -982,14 +1047,15 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
         ws.key_a[t] = slot_key(st.lhs, t);
         ws.key_b[t] = slot_key(st.rhs, t);
       }
+      DedupTable table(ws.htab, k);
       for (std::size_t t = 0; t < k; ++t) {
-        std::uint32_t rep = static_cast<std::uint32_t>(t);
-        for (std::size_t t0 = 0; t0 < t; ++t0)
-          if (vid[t0] == t0 && ws.key_a[t0] == ws.key_a[t] && ws.key_b[t0] == ws.key_b[t]) {
-            rep = static_cast<std::uint32_t>(t0);
-            break;
-          }
-        vid[t] = rep;
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(ws.key_a[t]) |
+            (static_cast<std::uint64_t>(ws.key_b[t]) << 32);
+        vid[t] = table.find_or_insert(
+            key, static_cast<std::uint32_t>(t), [&](std::uint32_t cand) {
+              return ws.key_a[cand] == ws.key_a[t] && ws.key_b[cand] == ws.key_b[t];
+            });
       }
     }
     ws.seq_last.assign(steps_.size(), static_cast<std::uint32_t>(-1));

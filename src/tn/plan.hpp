@@ -81,6 +81,7 @@ struct PlanWorkspace {
   // per-term boundary signatures / representatives of the sequential pass.
   std::vector<std::uint32_t> in_vids, vids, key_a, key_b, ukey_a, ukey_b, urep;
   std::vector<std::uint32_t> sig, term_rep, seq_last;
+  std::vector<std::uint32_t> htab;  // first-occurrence probe table (dedup scans)
 };
 
 /// One pairwise step of a batched replay: the parent PlanStep plus the
@@ -148,6 +149,17 @@ class BatchedPlan {
   const std::vector<std::size_t>& varying_slots() const { return varying_slots_; }
   /// Batched arena high-water mark (elements) for a full-capacity replay.
   std::size_t workspace_elems() const { return arena_elems_; }
+  /// Fraction of one term's schedule flops that fall in the SEQUENTIAL
+  /// (per-term replayed) region. Near 1.0 the compile-time variant bounds
+  /// say essentially every step is distinct across terms -- batching can
+  /// save at most the remaining fraction, so callers holding a per-term
+  /// fallback path (e.g. output-bitstring batching over a root-dominated
+  /// plan) should prefer it.
+  double sequential_flop_fraction() const {
+    return term_flops_ > 0
+               ? static_cast<double>(seq_flops_) / static_cast<double>(term_flops_)
+               : 0.0;
+  }
 
   /// Replay k <= capacity() terms. `shared[i]` supplies input slot i
   /// (ignored at varying slots); `varying[t * num_varying() + v]` supplies
@@ -170,6 +182,7 @@ class BatchedPlan {
   bool has_seq_ = false;
   std::size_t capacity_ = 0;
   std::size_t arena_elems_ = 0;
+  std::size_t term_flops_ = 0, seq_flops_ = 0;  // one term's schedule split
   std::size_t scratch_a_elems_ = 0, scratch_b_elems_ = 0;
   std::size_t max_rank_ = 0;
   bool output_identity_ = true;
@@ -214,13 +227,19 @@ class ContractionPlan {
   /// first (index-0) tensor -- Algorithm 1's approximation level: all but
   /// u <= l sites carry the dominant factor. It tightens the row bounds
   /// further and decides which steps replay per term (see BatchedPlan).
+  /// `unconstrained[v]` (optional, aligned with varying_slots) exempts slot
+  /// v from that per-term promise: the slot may carry ANY of its declared
+  /// variants in every term (e.g. an output-basis cap, which flips freely
+  /// across a batch of bitstrings), so its variant count enters each cone's
+  /// row bound as a full multiplicative factor instead of a deviation.
   /// Throws MemoryOutError when the batched arena exceeds
   /// opts.max_workspace_elems (batch-aware enforcement: the per-term plan
   /// may fit a budget its batched counterpart exceeds).
   BatchedPlan compile_batched(std::span<const std::size_t> varying_slots, std::size_t capacity,
                               const ContractOptions& opts = {}, ContractStats* stats = nullptr,
                               std::span<const std::size_t> variant_counts = {},
-                              std::size_t max_varied_per_term = static_cast<std::size_t>(-1)) const;
+                              std::size_t max_varied_per_term = static_cast<std::size_t>(-1),
+                              std::span<const char> unconstrained = {}) const;
 
   const std::vector<PlanStep>& steps() const { return steps_; }
   std::size_t num_inputs() const { return input_elems_.size(); }

@@ -320,9 +320,23 @@ TEST(ParallelEngine, PartialFinalChunkCountsAllSamples) {
 TEST(ParallelEngine, RejectsDegenerateArguments) {
   const ch::NoisyCircuit nc = parallel_test_circuit();
   ParallelOptions opts;
-  EXPECT_THROW(trajectories_sv(nc, 0, 0, 0, 1, opts), LinalgError);
   opts.chunk_size = 0;
   EXPECT_THROW(trajectories_sv(nc, 0, 0, 10, 1, opts), LinalgError);
+}
+
+TEST(ParallelEngine, ZeroSamplesIsAWellDefinedEmptyEstimate) {
+  // A sweep driver that partitions a sample budget can land on an empty
+  // shard; that must be an empty estimate, not an exception.
+  const ch::NoisyCircuit nc = parallel_test_circuit();
+  ParallelOptions opts;
+  const TrajectoryResult r = trajectories_sv(nc, 0, 0, 0, 1, opts);
+  EXPECT_EQ(r.samples, 0u);
+  EXPECT_EQ(r.mean, 0.0);
+  EXPECT_EQ(r.std_error, 0.0);
+  std::mt19937_64 rng(1);
+  const TrajectoryResult direct = trajectories_sv(nc, 0, 0, 0, rng);
+  EXPECT_EQ(direct.samples, 0u);
+  EXPECT_EQ(direct.mean, 0.0);
 }
 
 TEST(ParallelEngine, WorkerExceptionsPropagate) {
