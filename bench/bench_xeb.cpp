@@ -27,6 +27,15 @@
 // bench_contract_plan). Results land in BENCH_xeb.json (or the first
 // non-flag argument).
 
+// --sweep additionally runs the sharded-sweep / plan-cache ladder: three
+// XEB batches (fresh bitstring sets) scored back to back, uncached vs
+// through one core::PlanCache -- the cached ladder must finish >= 2x faster
+// (calls 2-3 skip every template and batched-plan compile; their stats must
+// report plan_cache_hits > 0 and plans_compiled == 0) and core::xeb_sweep
+// must reproduce the ladder's values bit for bit at several shard sizes
+// and thread counts. With --baseline, the cached ladder time also joins
+// the > 20% same-CPU regression gates.
+
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -36,6 +45,7 @@
 
 #include "bench_common.hpp"
 #include "core/approx.hpp"
+#include "core/plan_cache.hpp"
 #include "core/trajectories_tn.hpp"
 #include "sim/parallel.hpp"
 
@@ -87,6 +97,20 @@ bool baseline_field(const std::string& path, std::size_t k, const std::string& k
   return true;
 }
 
+/// Top-level numeric field scan (fields outside the per-k run objects).
+bool scan_field(const std::string& path, const std::string& key, double* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::string key_tag = "\"" + key + "\": ";
+  const std::size_t at = text.find(key_tag);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + at + key_tag.size(), nullptr);
+  return true;
+}
+
 std::string baseline_cpu(const std::string& path) {
   std::ifstream in(path);
   std::stringstream buf;
@@ -105,6 +129,7 @@ std::string baseline_cpu(const std::string& path) {
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_xeb.json";
   std::string baseline_path;
+  bool sweep_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--baseline") {
@@ -113,6 +138,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       baseline_path = argv[++i];
+    } else if (arg == "--sweep") {
+      sweep_mode = true;
     } else {
       out_path = arg;
     }
@@ -285,6 +312,94 @@ int main(int argc, char** argv) {
             << "per-bitstring reference (which already batches along the term axis) and\n"
             << "wins on total time by planning once instead of once per bitstring.\n";
 
+  // --- sharded sweep + plan-cache ladder (--sweep) ----------------------------
+  struct SweepRun {
+    double uncached_seconds = 1e300;
+    double cached_seconds = 1e300;
+    std::size_t plan_cache_hits = 0;
+    bool hits_every_round = true;
+    bool identical = true;
+    double speedup() const {
+      return cached_seconds > 0.0 ? uncached_seconds / cached_seconds : 0.0;
+    }
+  };
+  SweepRun sweep;
+  bool sweep_gate_ok = true;
+  if (sweep_mode) {
+    // Three small XEB batches arriving over time on a 5x5 grid: each call
+    // scores a fresh kLadderK-bitstring batch, so per-call planning
+    // dominates -- exactly the regime ApproxOptions::plan_cache targets.
+    // Every cached round starts COLD (fresh cache): the measured win is
+    // the 3-call ladder's own amortization, not a pre-warmed cache.
+    const int sn = 25;
+    const qc::Circuit scirc = bench::qaoa(sn, 1, 177);
+    const ch::NoisyCircuit snc =
+        bench::insert_noises(scirc, 2, bench::depolarizing_noise(0.008), 911);
+    core::ApproxOptions sopts;
+    sopts.level = 1;
+    sopts.eval = eval;
+    const std::uint64_t smask = (std::uint64_t{1} << sn) - 1;
+    constexpr std::size_t kLadderK = 3;
+    std::vector<std::vector<std::uint64_t>> sets(3, std::vector<std::uint64_t>(kLadderK));
+    for (auto& set : sets)
+      for (auto& v : set) v = sample_rng() & smask;
+
+    std::vector<core::ApproxBatchResult> uncached_results(sets.size());
+    for (int round = 0; round < 4; ++round) {  // interleaved best-of rounds
+      auto t0 = Clock::now();
+      for (std::size_t s = 0; s < sets.size(); ++s)
+        uncached_results[s] = core::approximate_fidelity_outputs(snc, 0, sets[s], sopts);
+      sweep.uncached_seconds = std::min(sweep.uncached_seconds, secs(t0, Clock::now()));
+
+      core::PlanCache cache;
+      core::ApproxOptions copts = sopts;
+      copts.plan_cache = &cache;
+      std::size_t hits = 0, compiled_after_first = 0;
+      t0 = Clock::now();
+      for (std::size_t s = 0; s < sets.size(); ++s) {
+        const core::ApproxBatchResult r =
+            core::approximate_fidelity_outputs(snc, 0, sets[s], copts);
+        hits += r.contract_stats.plan_cache_hits;
+        if (s > 0) compiled_after_first += r.contract_stats.plans_compiled;
+        for (std::size_t o = 0; o < kLadderK; ++o)
+          sweep.identical = sweep.identical && r.raw[o] == uncached_results[s].raw[o];
+      }
+      sweep.cached_seconds = std::min(sweep.cached_seconds, secs(t0, Clock::now()));
+      sweep.plan_cache_hits = hits;
+      // Calls 2-3 must be served ENTIRELY from the cache: hits recorded,
+      // zero plans compiled.
+      sweep.hits_every_round =
+          sweep.hits_every_round && hits > 0 && compiled_after_first == 0;
+    }
+
+    // xeb_sweep must reproduce the ladder's values bit for bit at several
+    // shard sizes and thread counts (warm cache included).
+    core::PlanCache xcache;
+    for (const std::size_t shard : {std::size_t{1}, std::size_t{2}, kLadderK}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        core::SweepOptions xopts;
+        xopts.approx = sopts;
+        xopts.approx.threads = threads;
+        xopts.approx.plan_cache = &xcache;
+        xopts.shard_outputs = shard;
+        for (std::size_t s = 0; s < sets.size(); ++s) {
+          const core::ApproxBatchResult r = core::xeb_sweep(snc, 0, sets[s], xopts);
+          for (std::size_t o = 0; o < kLadderK; ++o)
+            sweep.identical = sweep.identical && r.raw[o] == uncached_results[s].raw[o];
+        }
+      }
+    }
+
+    std::cout << "\nsweep ladder (3 XEB batches, qaoa_" << sn << " + 2 noises, K "
+              << kLadderK << "): uncached " << bench::sci(sweep.uncached_seconds)
+              << "s, cached " << bench::sci(sweep.cached_seconds) << "s -> "
+              << bench::fixed(sweep.speedup(), 2) << "x (plan-cache hits "
+              << sweep.plan_cache_hits << ", bit-identical "
+              << (sweep.identical ? "yes" : "NO") << ")\n";
+
+    sweep_gate_ok = sweep.identical && sweep.hits_every_round && sweep.speedup() >= 2.0;
+  }
+
   // Baseline regression gate (CI): > 20% batched per-bitstring amplitude
   // throughput loss vs the committed BENCH_xeb.json, same CPU model only.
   bool baseline_ok = true;
@@ -304,6 +419,20 @@ int main(int argc, char** argv) {
       const bool regressed = cur > base_per_bits * 1.25;
       std::cout << "baseline K " << r.k << ": batched per-bitstring " << bench::sci(cur)
                 << "s vs committed " << bench::sci(base_per_bits) << "s"
+                << (regressed ? "  REGRESSION > 20%" : "  ok") << "\n";
+      baseline_ok = baseline_ok && (!regressed || !same_machine);
+    }
+    // Sweep ladder regression gate on the CACHE SPEEDUP (dimensionless --
+    // both sides of the ratio are measured in the same run, so machine
+    // load cancels; the ~4ms absolute ladder time is too noisy to gate):
+    // > 20% speedup loss vs the committed run fails.
+    double base_speedup = 0.0;
+    if (sweep_mode && scan_field(baseline_path, "sweep_cache_speedup", &base_speedup) &&
+        base_speedup > 0.0) {
+      const bool regressed = sweep.speedup() < base_speedup * 0.8;
+      std::cout << "baseline sweep ladder: cache speedup "
+                << bench::fixed(sweep.speedup(), 2) << "x vs committed "
+                << bench::fixed(base_speedup, 2) << "x"
                 << (regressed ? "  REGRESSION > 20%" : "  ok") << "\n";
       baseline_ok = baseline_ok && (!regressed || !same_machine);
     }
@@ -338,12 +467,22 @@ int main(int argc, char** argv) {
         << ", \"traj_identical\": " << (r.traj_identical ? "true" : "false") << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ]";
+  if (sweep_mode) {
+    out << ",\n  \"sweep_uncached_seconds\": " << sweep.uncached_seconds
+        << ",\n  \"sweep_cached_seconds\": " << sweep.cached_seconds
+        << ",\n  \"sweep_cache_speedup\": " << sweep.speedup()
+        << ",\n  \"sweep_plan_cache_hits\": " << sweep.plan_cache_hits
+        << ",\n  \"sweep_identical\": " << (sweep.identical ? "true" : "false");
+  }
+  out << "\n}\n";
   std::cout << "wrote " << out_path << "\n";
 
   if (!all_identical) std::cout << "FAIL: batched / per-bitstring values not bit-identical\n";
   if (!speedup_gate_ok)
     std::cout << "FAIL: no K >= 16 row reached the 2x amplitude eval-throughput gate\n";
   if (!baseline_ok) std::cout << "FAIL: batched per-bitstring throughput regressed > 20%\n";
-  return all_identical && speedup_gate_ok && baseline_ok ? 0 : 1;
+  if (!sweep_gate_ok)
+    std::cout << "FAIL: sweep ladder missed the 2x plan-cache gate (or hits/bit-identity)\n";
+  return all_identical && speedup_gate_ok && baseline_ok && sweep_gate_ok ? 0 : 1;
 }

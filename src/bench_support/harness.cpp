@@ -41,6 +41,8 @@ std::string stats_json(const tn::ContractStats& stats) {
   out += ", \"plan_reuse_hits\": " + std::to_string(stats.plan_reuse_hits);
   out += ", \"flops\": " + std::to_string(stats.flops);
   out += ", \"bytes_moved\": " + std::to_string(stats.bytes_moved);
+  out += ", \"plan_cache_hits\": " + std::to_string(stats.plan_cache_hits);
+  out += ", \"plan_cache_misses\": " + std::to_string(stats.plan_cache_misses);
   out += "}";
   return out;
 }

@@ -35,8 +35,9 @@ RunOutcome run_guarded(const std::function<double()>& fn);
 RunOutcome run_guarded_stats(const std::function<double(tn::ContractStats&)>& fn);
 
 /// JSON object for a stats record, e.g. {"num_pairwise": 12, ...,
-/// "plan_reuse_hits": 7, "flops": 123, "bytes_moved": 456} -- spliced into
-/// the BENCH_*.json outputs so plan-reuse wins and arithmetic intensity
+/// "plan_reuse_hits": 7, "flops": 123, "bytes_moved": 456,
+/// "plan_cache_hits": 4, "plan_cache_misses": 0} -- spliced into the
+/// BENCH_*.json outputs so plan-reuse/cache wins and arithmetic intensity
 /// show up in the perf trajectory.
 std::string stats_json(const tn::ContractStats& stats);
 

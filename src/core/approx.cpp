@@ -3,13 +3,17 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <future>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 
 #include "circuit/simplify.hpp"
 #include "core/bounds.hpp"
+#include "core/plan_cache.hpp"
 #include "linalg/svd.hpp"
 
 namespace noisim::core {
@@ -179,8 +183,8 @@ class SerializedProgress {
 };
 
 // Wall-clock split of a sweep: everything before eval_started() is the
-// upfront setup (network build + plan compilation, paid once per sweep),
-// everything after is the per-term evaluation loop.
+// upfront setup (network build + plan compilation -- or plan-cache lookups
+// -- paid once per sweep), everything after is the per-term evaluation loop.
 class SweepTimer {
  public:
   SweepTimer(double& plan_seconds, double& eval_seconds)
@@ -245,6 +249,507 @@ void fill_error_bounds(const std::vector<Site>& sites, std::size_t level, double
       all_1q ? theorem1_error_bound(sites.size(), max_rate, level) : tight_error_bound;
 }
 
+// --- plan-cache acquisition ---------------------------------------------------
+
+// A template either served from an ApproxOptions::plan_cache entry (shared,
+// kept alive by the entry pointer) or compiled for this call. Both hand out
+// a stable reference; cached batched plans are memoized inside the entry.
+struct AcquiredTemplate {
+  std::shared_ptr<const PlanCache::Entry> entry;  // cached case
+  std::shared_ptr<const AmplitudeTemplate> owned;  // cache-free case
+  const AmplitudeTemplate& tmpl() const { return entry ? entry->tmpl() : *owned; }
+};
+
+AcquiredTemplate acquire_template(PlanCache* cache, int n,
+                                  const std::vector<qc::Gate>& skeleton,
+                                  std::uint64_t psi_bits, std::uint64_t v_bits,
+                                  bool conjugate, const EvalOptions& eval,
+                                  tn::ContractStats& setup_stats) {
+  AcquiredTemplate out;
+  if (cache) {
+    // Resolve sequence_for ONCE: the resolved options serve as the key
+    // component AND replace eval for the builder (with the callback
+    // cleared, the template's own resolution is a pass-through), so a
+    // skeleton-walking sequence function never runs twice per miss.
+    EvalOptions resolved = eval;
+    resolved.tn = resolved_contract_options(n, skeleton, eval);
+    resolved.sequence_for = nullptr;
+    bool hit = false;
+    out.entry = cache->entry(
+        PlanCache::template_key(n, skeleton, psi_bits, v_bits, conjugate, resolved.tn),
+        [&] {
+          return AmplitudeTemplate(n, skeleton, psi_bits, v_bits, conjugate, resolved);
+        },
+        &hit);
+    if (hit) {
+      ++setup_stats.plan_cache_hits;
+    } else {
+      ++setup_stats.plan_cache_misses;
+      setup_stats.merge(out.entry->tmpl().compile_stats());
+    }
+  } else {
+    out.owned =
+        std::make_shared<const AmplitudeTemplate>(n, skeleton, psi_bits, v_bits, conjugate, eval);
+    setup_stats.merge(out.owned->compile_stats());
+  }
+  return out;
+}
+
+std::shared_ptr<const tn::BatchedPlan> acquire_batched(
+    const AcquiredTemplate& at, std::span<const std::size_t> slots, std::size_t capacity,
+    std::span<const std::size_t> variant_counts, std::size_t max_varied_per_term,
+    std::span<const char> unconstrained, tn::ContractStats& setup_stats) {
+  if (at.entry) {
+    bool hit = false;
+    tn::ContractStats compile_stats;
+    auto plan = at.entry->batched(
+        PlanCache::batched_key(slots, capacity, variant_counts, max_varied_per_term,
+                               unconstrained),
+        [&] {
+          return at.tmpl().compile_batched(slots, capacity, &compile_stats, variant_counts,
+                                           max_varied_per_term, unconstrained);
+        },
+        &hit);
+    if (hit) {
+      ++setup_stats.plan_cache_hits;
+    } else {
+      ++setup_stats.plan_cache_misses;
+      setup_stats.merge(compile_stats);
+    }
+    return plan;
+  }
+  return std::make_shared<const tn::BatchedPlan>(at.tmpl().compile_batched(
+      slots, capacity, &setup_stats, variant_counts, max_varied_per_term, unconstrained));
+}
+
+// --- the sharded 2-D sweep engine ---------------------------------------------
+
+// Output-batched traversal bounds shared with the PR-4 paths: up to 32
+// outputs per traversal, at most ~256 (term, output) pairs per traversal
+// (the measured batched-arena knee on the Fig. 4-style grids).
+constexpr std::size_t kOutputChunk = 32;
+constexpr std::size_t kMaxPairs = 256;
+
+// One work item evaluates terms [t0, t0 + tcount) at outputs
+// [obegin, obegin + ocount): out[t * ocount + o] = term value at output o.
+// Every value is bit-identical to the single-output reference's value for
+// that (term, output) pair -- batching only shares work, never changes bits.
+using ItemEval = std::function<void(std::size_t t0, std::size_t tcount, std::size_t obegin,
+                                    std::size_t ocount, std::span<cplx> out,
+                                    tn::ContractStats& stats)>;
+struct WorkerEval {
+  ItemEval eval;
+  // Merge any session-held stats into the worker's record (called once,
+  // after the worker drains the queue).
+  std::function<void(tn::ContractStats&)> flush;
+};
+
+// The engine behind approximate_fidelity_outputs and xeb_sweep: a single
+// 2-D (term-range x output-chunk) work queue drained by `threads` workers,
+// with a streaming chunk-ordered reduction.
+//
+//  * Items are dispensed in range-major order together with a buffer from a
+//    bounded pool (threads + 2 buffers): a worker only claims an item when
+//    a buffer is free, so every in-flight item is actually computing --
+//    which is what guarantees the fold below always makes progress and the
+//    transient value storage stays O(threads x item), never O(terms x K).
+//  * Each chunk folds its term values strictly in global term-enumeration
+//    order: completed items land in a per-chunk stash and are folded as
+//    soon as they become the chunk's next range, reproducing the reference
+//    reduction arithmetic (term_sums[level] += value, term by term) exactly
+//    -- at any thread count, shard size, or completion order.
+//  * A term's progress callback fires once its value has been folded for
+//    every output chunk (term counts stay strictly increasing by one).
+ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                std::span<const std::uint64_t> v_bits,
+                                const ApproxOptions& opts, std::size_t shard_outputs) {
+  const int n = nc.num_qubits();
+  const std::size_t K = v_bits.size();
+  BaseLists base = build_base(nc);
+  const std::size_t num_sites = base.sites.size();
+  const std::size_t level = std::min(opts.level, num_sites);
+
+  ApproxBatchResult result;
+  fill_error_bounds(base.sites, level, nc.max_noise_rate(), result.error_bound,
+                    result.tight_error_bound);
+  // K == 0 is a well-defined empty sweep: bounds only, no compiled plans
+  // (a capacity-0 batched plan must never be requested).
+  if (K == 0) return result;
+
+  std::vector<qc::Gate> skeleton = base.gates;
+  if (opts.eval.simplify) skeleton = qc::cancel_inverse_pairs(std::move(skeleton));
+  const std::vector<std::size_t> site_pos = locate_sites(skeleton, num_sites);
+
+  EvalOptions eval = opts.eval;
+  eval.simplify = false;  // already applied to the skeleton
+
+  const std::vector<Term> terms = enumerate_terms(base.sites, level);
+  const std::size_t num_terms = terms.size();
+  const std::size_t nn = static_cast<std::size_t>(n);
+
+  SerializedProgress progress(opts.progress);
+  tn::ContractStats setup_stats;
+  SweepTimer timer(result.plan_seconds, result.eval_seconds);
+
+  const bool tn_path = opts.reuse_plans && uses_tensor_network(eval, n);
+
+  // Output shards (work-queue granularity along the bitstring axis). The
+  // reference paths default to one shard: their per-term evaluation already
+  // covers every output in one evolution / one compiled template, so
+  // chunking would only repeat that per-term setup.
+  const std::size_t shard =
+      std::min(K, shard_outputs > 0 ? shard_outputs : (tn_path ? kOutputChunk : K));
+  const std::size_t num_chunks = (K + shard - 1) / shard;
+
+  // Term ranges: batch_terms wide, additionally capped so one batched
+  // traversal holds at most kMaxPairs (term, output) pairs.
+  const std::size_t out_chunk = std::min(shard, kOutputChunk);
+  const std::size_t term_batch =
+      std::min({std::max<std::size_t>(opts.batch_terms, 1), num_terms,
+                std::max<std::size_t>(kMaxPairs / out_chunk, 1)});
+  const std::size_t num_ranges = (num_terms + term_batch - 1) / term_batch;
+
+  // --- per-strategy setup (templates, plans, factor tensors) ---------------
+  AcquiredTemplate top_at, bot_at;
+  std::shared_ptr<const tn::BatchedPlan> top_bplan, bot_bplan;
+  SiteFactors fac;
+  std::vector<const tsr::Tensor*> caps_of_output;
+  std::vector<std::size_t> slots, cap_nodes;
+  std::size_t V = 0, capacity = 0;
+
+  if (tn_path) {
+    // Canonical v = 0 templates: the output caps are placeholders (always
+    // substituted below), so one cached entry serves EVERY bitstring set
+    // over this skeleton -- that is what makes the plan cache hit across
+    // XEB batches arriving over time.
+    top_at = acquire_template(opts.plan_cache, n, skeleton, psi_bits, 0, /*conjugate=*/false,
+                              eval, setup_stats);
+    bot_at = acquire_template(opts.plan_cache, n, skeleton, psi_bits, 0, /*conjugate=*/true,
+                              eval, setup_stats);
+    fac = build_site_factors(base.sites, site_pos, top_at.tmpl());
+
+    // Per-output cap pointer table (the template's shared <0|/<1| objects,
+    // so the executor's pointer compaction shares rows across bitstrings).
+    // Basis caps are real, so the same tensors serve the conjugated bottom
+    // layer.
+    caps_of_output.resize(K * nn);
+    for (std::size_t o = 0; o < K; ++o)
+      top_at.tmpl().fill_output_caps(v_bits[o],
+                                     std::span(caps_of_output).subspan(o * nn, nn));
+
+    // Combined varying slots: the noise sites keep Algorithm 1's per-term
+    // deviation promise (<= level), the output caps flip freely.
+    cap_nodes = top_at.tmpl().output_cap_nodes();
+    slots = fac.node;
+    slots.insert(slots.end(), cap_nodes.begin(), cap_nodes.end());
+    V = slots.size();
+    std::vector<std::size_t> counts(V, 2);
+    std::vector<char> unconstrained(V, 0);
+    for (std::size_t s = 0; s < num_sites; ++s) counts[s] = base.sites[s].split.terms();
+    for (std::size_t v = num_sites; v < V; ++v) unconstrained[v] = 1;
+    capacity = term_batch * out_chunk;
+
+    try {
+      top_bplan =
+          acquire_batched(top_at, slots, capacity, counts, level, unconstrained, setup_stats);
+      bot_bplan =
+          acquire_batched(bot_at, slots, capacity, counts, level, unconstrained, setup_stats);
+      if (!output_batch_worthwhile(*top_bplan) || !output_batch_worthwhile(*bot_bplan)) {
+        top_bplan.reset();
+        bot_bplan.reset();
+      }
+    } catch (const MemoryOutError&) {
+      // Combined batch exceeds the workspace budget; the per-output plan
+      // replay below fits and is bit-identical.
+      top_bplan.reset();
+      bot_bplan.reset();
+    }
+  }
+
+  // Per-worker evaluator factory for the three (bit-identical) strategies.
+  std::function<WorkerEval(std::size_t)> make_eval;
+  if (tn_path && top_bplan) {
+    // Batched traversals: each item covers (term range x <= out_chunk
+    // outputs) pairs per traversal -- noise slots level-capped, cap slots
+    // unconstrained.
+    make_eval = [&](std::size_t) -> WorkerEval {
+      auto top_session =
+          std::make_shared<AmplitudeTemplate::BatchedSession>(top_at.tmpl(), *top_bplan);
+      auto bot_session =
+          std::make_shared<AmplitudeTemplate::BatchedSession>(bot_at.tmpl(), *bot_bplan);
+      auto top_ptrs = std::make_shared<std::vector<const tsr::Tensor*>>(capacity * V);
+      auto bot_ptrs = std::make_shared<std::vector<const tsr::Tensor*>>(capacity * V);
+      auto top_amp = std::make_shared<std::vector<cplx>>(capacity);
+      auto bot_amp = std::make_shared<std::vector<cplx>>(capacity);
+      WorkerEval we;
+      we.eval = [&, top_session, bot_session, top_ptrs, bot_ptrs, top_amp, bot_amp](
+                    std::size_t t0, std::size_t tcount, std::size_t obegin,
+                    std::size_t ocount, std::span<cplx> out, tn::ContractStats&) {
+        for (std::size_t o0 = 0; o0 < ocount; o0 += out_chunk) {
+          const std::size_t oc = std::min(out_chunk, ocount - o0);
+          const std::size_t kk = tcount * oc;
+          for (std::size_t t = 0; t < tcount; ++t) {
+            const Term& term = terms[t0 + t];
+            for (std::size_t o = 0; o < oc; ++o) {
+              const std::size_t p = (t * oc + o) * V;
+              // Dominant factor everywhere, subdominant at the chosen
+              // sites; the output chunk's caps in the trailing slots.
+              for (std::size_t s = 0; s < num_sites; ++s) {
+                (*top_ptrs)[p + s] = &fac.top[s][0];
+                (*bot_ptrs)[p + s] = &fac.bot[s][0];
+              }
+              for (std::size_t c = 0; c < term.sites.size(); ++c) {
+                const std::size_t s = term.sites[c];
+                (*top_ptrs)[p + s] = &fac.top[s][term.term_idx[c]];
+                (*bot_ptrs)[p + s] = &fac.bot[s][term.term_idx[c]];
+              }
+              for (std::size_t q = 0; q < nn; ++q) {
+                const tsr::Tensor* cap = caps_of_output[(obegin + o0 + o) * nn + q];
+                (*top_ptrs)[p + num_sites + q] = cap;
+                (*bot_ptrs)[p + num_sites + q] = cap;
+              }
+            }
+          }
+          top_session->evaluate(
+              std::span<const tsr::Tensor* const>(*top_ptrs).first(kk * V), kk, *top_amp);
+          bot_session->evaluate(
+              std::span<const tsr::Tensor* const>(*bot_ptrs).first(kk * V), kk, *bot_amp);
+          for (std::size_t t = 0; t < tcount; ++t)
+            for (std::size_t o = 0; o < oc; ++o)
+              out[t * ocount + o0 + o] = (*top_amp)[t * oc + o] * (*bot_amp)[t * oc + o];
+        }
+      };
+      we.flush = [top_session, bot_session](tn::ContractStats& stats) {
+        stats.merge(top_session->stats());
+        stats.merge(bot_session->stats());
+      };
+      return we;
+    };
+  } else if (tn_path) {
+    // Per-output plan replay: site tensors and the output's caps go in as
+    // per-call session substitutions (MO'd or hopeless batched plan).
+    make_eval = [&](std::size_t) -> WorkerEval {
+      auto top_session = std::make_shared<AmplitudeTemplate::Session>(top_at.tmpl().session());
+      auto bot_session = std::make_shared<AmplitudeTemplate::Session>(bot_at.tmpl().session());
+      auto top_subs =
+          std::make_shared<std::vector<AmplitudeTemplate::Substitution>>(num_sites + nn);
+      auto bot_subs =
+          std::make_shared<std::vector<AmplitudeTemplate::Substitution>>(num_sites + nn);
+      WorkerEval we;
+      we.eval = [&, top_session, bot_session, top_subs, bot_subs](
+                    std::size_t t0, std::size_t tcount, std::size_t obegin,
+                    std::size_t ocount, std::span<cplx> out, tn::ContractStats&) {
+        for (std::size_t t = 0; t < tcount; ++t) {
+          const Term& term = terms[t0 + t];
+          for (std::size_t s = 0; s < num_sites; ++s) {
+            (*top_subs)[s] = {fac.node[s], &fac.top[s][0]};
+            (*bot_subs)[s] = {fac.node[s], &fac.bot[s][0]};
+          }
+          for (std::size_t c = 0; c < term.sites.size(); ++c) {
+            const std::size_t s = term.sites[c];
+            (*top_subs)[s].second = &fac.top[s][term.term_idx[c]];
+            (*bot_subs)[s].second = &fac.bot[s][term.term_idx[c]];
+          }
+          for (std::size_t o = 0; o < ocount; ++o) {
+            for (std::size_t q = 0; q < nn; ++q) {
+              const AmplitudeTemplate::Substitution cap{cap_nodes[q],
+                                                        caps_of_output[(obegin + o) * nn + q]};
+              (*top_subs)[num_sites + q] = cap;
+              (*bot_subs)[num_sites + q] = cap;
+            }
+            const cplx top_amp = top_session->evaluate(*top_subs);
+            const cplx bot_amp = bot_session->evaluate(*bot_subs);
+            out[t * ocount + o] = top_amp * bot_amp;
+          }
+        }
+      };
+      we.flush = [top_session, bot_session](tn::ContractStats& stats) {
+        stats.merge(top_session->stats());
+        stats.merge(bot_session->stats());
+      };
+      return we;
+    };
+  } else {
+    // Reference path (state-vector backend, or reuse_plans disabled): each
+    // term materializes its gate lists and evaluates the chunk's outputs
+    // through batch_amplitudes (one evolution / one template per layer per
+    // term per chunk).
+    make_eval = [&](std::size_t) -> WorkerEval {
+      auto top = std::make_shared<std::vector<qc::Gate>>(skeleton);
+      auto bottom = std::make_shared<std::vector<qc::Gate>>(skeleton);
+      WorkerEval we;
+      we.eval = [&, top, bottom](std::size_t t0, std::size_t tcount, std::size_t obegin,
+                                 std::size_t ocount, std::span<cplx> out,
+                                 tn::ContractStats& stats) {
+        const std::span<const std::uint64_t> chunk_outputs = v_bits.subspan(obegin, ocount);
+        for (std::size_t t = 0; t < tcount; ++t) {
+          const Term& term = terms[t0 + t];
+          for (std::size_t s = 0; s < num_sites; ++s) {
+            std::size_t ti = 0;
+            for (std::size_t c = 0; c < term.sites.size(); ++c)
+              if (term.sites[c] == s) ti = term.term_idx[c];
+            (*top)[site_pos[s]].custom = base.sites[s].split.u[ti];
+            // The bottom layer is evaluated with conjugate=true (which
+            // conjugates every matrix), so store conj(V) to apply V itself.
+            (*bottom)[site_pos[s]].custom = base.sites[s].split.v[ti].conj();
+          }
+          const std::vector<cplx> top_amp = batch_amplitudes(
+              n, *top, psi_bits, chunk_outputs, /*conjugate=*/false, eval, &stats);
+          const std::vector<cplx> bot_amp = batch_amplitudes(
+              n, *bottom, psi_bits, chunk_outputs, /*conjugate=*/true, eval, &stats);
+          for (std::size_t o = 0; o < ocount; ++o) out[t * ocount + o] = top_amp[o] * bot_amp[o];
+        }
+      };
+      we.flush = [](tn::ContractStats&) {};
+      return we;
+    };
+  }
+
+  // --- scheduler + streaming fold ------------------------------------------
+  struct ChunkFold {
+    std::size_t begin = 0, count = 0;  // output range of the chunk
+    std::size_t cursor = 0;            // next term range to fold
+    std::vector<cplx> sums;            // count x (level + 1), output-major
+    std::map<std::size_t, std::size_t> stash;  // completed range -> buffer
+  };
+  std::vector<ChunkFold> folds(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    folds[c].begin = c * shard;
+    folds[c].count = std::min(shard, K - folds[c].begin);
+    folds[c].sums.assign(folds[c].count * (level + 1), cplx{0.0, 0.0});
+  }
+  // Outstanding chunk folds per term, for the TERM-counting progress
+  // contract: a term is reported once every chunk has folded it.
+  std::vector<std::size_t> term_pending(num_terms, num_chunks);
+
+  const std::size_t num_items = num_ranges * num_chunks;
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min<std::size_t>(opts.threads, num_items));
+  std::vector<tn::ContractStats> worker_stats(threads);
+
+  // Bounded buffer pool: claiming an item claims a buffer with it, so a
+  // stalled chunk can never strand completed-but-unfoldable values beyond
+  // the pool -- the O(outputs) table bound of the engine contract.
+  const std::size_t pool_size = std::min(num_items, threads + 2);
+  std::vector<std::vector<cplx>> buffers(pool_size);
+  std::vector<std::size_t> free_bufs(pool_size);
+  for (std::size_t b = 0; b < pool_size; ++b) free_bufs[b] = b;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t next_item = 0;
+  bool aborted = false;
+  std::exception_ptr abort_error;
+
+  timer.eval_started();
+  auto worker = [&](std::size_t w) {
+    WorkerEval we = make_eval(w);
+    while (true) {
+      std::size_t item = 0, buf = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock,
+                [&] { return aborted || next_item >= num_items || !free_bufs.empty(); });
+        if (aborted || next_item >= num_items) break;
+        item = next_item++;
+        buf = free_bufs.back();
+        free_bufs.pop_back();
+        if (next_item >= num_items) cv.notify_all();
+      }
+      // Range-major item order: for any chunk, lower term ranges are
+      // dispensed first, so every stashed buffer's predecessor is already
+      // in flight -- the fold below always advances.
+      const std::size_t r = item / num_chunks;
+      const std::size_t c = item % num_chunks;
+      const std::size_t t0 = r * term_batch;
+      const std::size_t tcount = std::min(term_batch, num_terms - t0);
+      ChunkFold& cf = folds[c];
+      std::vector<cplx>& vbuf = buffers[buf];
+      try {
+        vbuf.resize(tcount * cf.count);
+        we.eval(t0, tcount, cf.begin, cf.count, std::span<cplx>(vbuf), worker_stats[w]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        aborted = true;
+        if (!abort_error) abort_error = std::current_exception();
+        free_bufs.push_back(buf);
+        cv.notify_all();
+        break;
+      }
+      std::size_t terms_done = 0;
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        cf.stash.emplace(r, buf);
+        // Fold every consecutively ready range in term-enumeration order --
+        // the same arithmetic, in the same order, as the per-bitstring
+        // reference's reduction.
+        for (auto it = cf.stash.find(cf.cursor); it != cf.stash.end();
+             it = cf.stash.find(cf.cursor)) {
+          const std::size_t fbuf = it->second;
+          const std::size_t f0 = cf.cursor * term_batch;
+          const std::size_t fcount = std::min(term_batch, num_terms - f0);
+          const std::vector<cplx>& fv = buffers[fbuf];
+          for (std::size_t t = 0; t < fcount; ++t) {
+            const std::size_t u = terms[f0 + t].level;
+            for (std::size_t o = 0; o < cf.count; ++o)
+              cf.sums[o * (level + 1) + u] += fv[t * cf.count + o];
+            if (--term_pending[f0 + t] == 0) ++terms_done;
+          }
+          cf.stash.erase(it);
+          free_bufs.push_back(fbuf);
+          ++cf.cursor;
+        }
+        cv.notify_all();
+      }
+      // The user callback runs OUTSIDE the scheduler lock: a slow callback
+      // only delays this worker (the documented contract), and a throwing
+      // one unwinds after the fold state and buffers are already
+      // consistent, so the other workers drain the queue and the exception
+      // surfaces through the join below.
+      for (; terms_done > 0; --terms_done) progress.note();
+    }
+    we.flush(worker_stats[w]);
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w)
+      futures.push_back(std::async(std::launch::async, worker, w));
+    for (auto& f : futures) f.get();
+  }
+  if (abort_error) std::rethrow_exception(abort_error);
+  timer.eval_done();
+
+  // Deterministic stats reduction: setup first, then workers in order.
+  result.contract_stats.merge(setup_stats);
+  for (const tn::ContractStats& ws : worker_stats) result.contract_stats.merge(ws);
+
+  // Per-output assembly from the streamed level sums -- the same arithmetic,
+  // in the same order, as the output's single-output sweep.
+  result.values.assign(K, 0.0);
+  result.raw.assign(K, cplx{0.0, 0.0});
+  result.term_sums.assign(K, std::vector<cplx>(level + 1, cplx{0.0, 0.0}));
+  result.level_values.assign(K, {});
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const ChunkFold& cf = folds[c];
+    for (std::size_t o = 0; o < cf.count; ++o) {
+      const std::size_t go = cf.begin + o;
+      for (std::size_t u = 0; u <= level; ++u)
+        result.term_sums[go][u] = cf.sums[o * (level + 1) + u];
+      for (std::size_t u = 0; u <= level; ++u) {
+        result.raw[go] += result.term_sums[go][u];
+        result.level_values[go].push_back(result.raw[go].real());
+      }
+      result.values[go] = result.raw[go].real();
+    }
+  }
+  result.contractions = 2 * num_terms * K;
+  return result;
+}
+
 }  // namespace
 
 ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
@@ -278,15 +783,21 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
                              body) { run_partitioned(threads, terms.size(), body); };
 
   std::vector<tn::ContractStats> worker_stats(threads);
+  tn::ContractStats setup_stats;
   SweepTimer timer(result.plan_seconds, result.eval_seconds);
 
   if (opts.reuse_plans && uses_tensor_network(eval, n)) {
     // Plan/execute fast path: every term's top (bottom) network shares one
     // topology -- only the tensors at the u chosen noise sites change. Plan
-    // each single-layer network once, then replay the plan per term with
-    // substituted site tensors, one workspace per worker.
-    const AmplitudeTemplate top_tmpl(n, skeleton, psi_bits, v_bits, /*conjugate=*/false, eval);
-    const AmplitudeTemplate bot_tmpl(n, skeleton, psi_bits, v_bits, /*conjugate=*/true, eval);
+    // each single-layer network once (or fetch it from the plan cache),
+    // then replay the plan per term with substituted site tensors, one
+    // workspace per worker.
+    const AcquiredTemplate top_at = acquire_template(
+        opts.plan_cache, n, skeleton, psi_bits, v_bits, /*conjugate=*/false, eval, setup_stats);
+    const AcquiredTemplate bot_at = acquire_template(
+        opts.plan_cache, n, skeleton, psi_bits, v_bits, /*conjugate=*/true, eval, setup_stats);
+    const AmplitudeTemplate& top_tmpl = top_at.tmpl();
+    const AmplitudeTemplate& bot_tmpl = bot_at.tmpl();
 
     const SiteFactors fac = build_site_factors(base.sites, site_pos, top_tmpl);
     const std::vector<std::size_t>& site_node = fac.node;
@@ -311,16 +822,15 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
         variant_counts[s] = base.sites[s].split.terms();
       // At level l every term deviates from the dominant assignment at u <=
       // l sites, which tightens the batched row bounds substantially.
-      tn::ContractStats batched_compile_stats;
-      const tn::BatchedPlan top_bplan = top_tmpl.compile_batched(
-          site_node, batch, &batched_compile_stats, variant_counts, level);
-      const tn::BatchedPlan bot_bplan = bot_tmpl.compile_batched(
-          site_node, batch, &batched_compile_stats, variant_counts, level);
+      const std::shared_ptr<const tn::BatchedPlan> top_bplan =
+          acquire_batched(top_at, site_node, batch, variant_counts, level, {}, setup_stats);
+      const std::shared_ptr<const tn::BatchedPlan> bot_bplan =
+          acquire_batched(bot_at, site_node, batch, variant_counts, level, {}, setup_stats);
 
       timer.eval_started();
       run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
-        AmplitudeTemplate::BatchedSession top_session(top_tmpl, top_bplan);
-        AmplitudeTemplate::BatchedSession bot_session(bot_tmpl, bot_bplan);
+        AmplitudeTemplate::BatchedSession top_session(top_tmpl, *top_bplan);
+        AmplitudeTemplate::BatchedSession bot_session(bot_tmpl, *bot_bplan);
         std::vector<const tsr::Tensor*> top_ptrs(batch * num_sites);
         std::vector<const tsr::Tensor*> bot_ptrs(batch * num_sites);
         std::vector<cplx> top_amp(batch), bot_amp(batch);
@@ -350,7 +860,6 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
         worker_stats[w].merge(bot_session.stats());
       });
       timer.eval_done();
-      result.contract_stats.merge(batched_compile_stats);
     } else {
       timer.eval_started();
       run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
@@ -379,8 +888,6 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
       });
       timer.eval_done();
     }
-    result.contract_stats.merge(top_tmpl.compile_stats());
-    result.contract_stats.merge(bot_tmpl.compile_stats());
   } else {
     // Reference path (state-vector backend, or reuse_plans disabled):
     // each term materializes its gate lists and evaluates them standalone,
@@ -412,7 +919,8 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
     timer.eval_done();
   }
 
-  // Deterministic stats reduction in worker order.
+  // Deterministic stats reduction: setup first, then workers in order.
+  result.contract_stats.merge(setup_stats);
   for (const tn::ContractStats& ws : worker_stats) result.contract_stats.merge(ws);
 
   // Deterministic reduction in enumeration order.
@@ -433,253 +941,12 @@ ApproxBatchResult approximate_fidelity_outputs(const ch::NoisyCircuit& nc,
                                                std::uint64_t psi_bits,
                                                std::span<const std::uint64_t> v_bits,
                                                const ApproxOptions& opts) {
-  const int n = nc.num_qubits();
-  const std::size_t K = v_bits.size();
-  BaseLists base = build_base(nc);
-  const std::size_t num_sites = base.sites.size();
-  const std::size_t level = std::min(opts.level, num_sites);
+  return sweep_outputs(nc, psi_bits, v_bits, opts, /*shard_outputs=*/0);
+}
 
-  ApproxBatchResult result;
-  fill_error_bounds(base.sites, level, nc.max_noise_rate(), result.error_bound,
-                    result.tight_error_bound);
-  if (K == 0) return result;
-
-  std::vector<qc::Gate> skeleton = base.gates;
-  if (opts.eval.simplify) skeleton = qc::cancel_inverse_pairs(std::move(skeleton));
-  const std::vector<std::size_t> site_pos = locate_sites(skeleton, num_sites);
-
-  EvalOptions eval = opts.eval;
-  eval.simplify = false;  // already applied to the skeleton
-
-  const std::vector<Term> terms = enumerate_terms(base.sites, level);
-
-  // Progress counts TERMS (each term covers all K outputs), serialized and
-  // monotone exactly like the single-output sweep.
-  SerializedProgress progress(opts.progress);
-  auto note_progress = [&] { progress.note(); };
-
-  // Term-major value table: values[i * K + o] = term i at output o. Workers
-  // own disjoint term ranges; the per-output reduction below runs in
-  // enumeration order, so every output reproduces its single-output sweep
-  // bit for bit. (That contract is why the whole table is materialized --
-  // partial-sum merges would change the floating-point fold; very large
-  // K x terms sweeps should shard v_bits across calls instead.)
-  std::vector<cplx> values(terms.size() * K);
-  const std::size_t threads =
-      std::max<std::size_t>(1, std::min<std::size_t>(opts.threads, terms.size()));
-  auto run_workers = [&](const std::function<void(std::size_t, std::size_t, std::size_t)>&
-                             body) { run_partitioned(threads, terms.size(), body); };
-
-  std::vector<tn::ContractStats> worker_stats(threads);
-  SweepTimer timer(result.plan_seconds, result.eval_seconds);
-
-  if (opts.reuse_plans && uses_tensor_network(eval, n)) {
-    // The templates' own caps are placeholders: the output caps are always
-    // substituted (batched varying slots or per-output session subs).
-    const AmplitudeTemplate top_tmpl(n, skeleton, psi_bits, v_bits[0], /*conjugate=*/false,
-                                     eval);
-    const AmplitudeTemplate bot_tmpl(n, skeleton, psi_bits, v_bits[0], /*conjugate=*/true,
-                                     eval);
-
-    const SiteFactors fac = build_site_factors(base.sites, site_pos, top_tmpl);
-    const std::vector<std::size_t>& site_node = fac.node;
-    const std::vector<std::vector<tsr::Tensor>>& top_fac = fac.top;
-    const std::vector<std::vector<tsr::Tensor>>& bot_fac = fac.bot;
-
-    // Per-output cap pointer table (the template's shared <0|/<1| objects,
-    // so the executor's pointer compaction shares rows across bitstrings).
-    // Basis caps are real, so the same tensors serve the conjugated bottom
-    // layer.
-    const std::size_t nn = static_cast<std::size_t>(n);
-    std::vector<const tsr::Tensor*> caps_of_output(K * nn);
-    for (std::size_t o = 0; o < K; ++o)
-      top_tmpl.fill_output_caps(v_bits[o],
-                                std::span(caps_of_output).subspan(o * nn, nn));
-
-    // Combined varying slots: the noise sites keep Algorithm 1's per-term
-    // deviation promise (<= level), the output caps flip freely.
-    std::vector<std::size_t> slots = site_node;
-    const std::vector<std::size_t> cap_nodes = top_tmpl.output_cap_nodes();
-    slots.insert(slots.end(), cap_nodes.begin(), cap_nodes.end());
-    const std::size_t V = slots.size();
-    std::vector<std::size_t> counts(V, 2);
-    std::vector<char> unconstrained(V, 0);
-    for (std::size_t s = 0; s < num_sites; ++s) counts[s] = base.sites[s].split.terms();
-    for (std::size_t v = num_sites; v < V; ++v) unconstrained[v] = 1;
-
-    // One traversal covers a chunk of terms x (up to kOutputChunk) outputs.
-    // The term axis is additionally capped so a traversal holds at most
-    // kMaxPairs (term, output) pairs: past that the batched arena outgrows
-    // the cache and the per-row dispatch on near-distinct steps costs more
-    // than the cross-term sharing recovers (measured on the Fig. 4-style
-    // grid: ~256 pairs is the knee). batch_terms <= 1 keeps the term axis
-    // unbatched; each term still evaluates a whole output chunk at once.
-    constexpr std::size_t kOutputChunk = 32;
-    constexpr std::size_t kMaxPairs = 256;
-    const std::size_t out_chunk = std::min(K, kOutputChunk);
-    const std::size_t term_batch =
-        std::min({std::max<std::size_t>(opts.batch_terms, 1), terms.size(),
-                  std::max<std::size_t>(kMaxPairs / out_chunk, 1)});
-    const std::size_t capacity = term_batch * out_chunk;
-
-    tn::ContractStats batched_compile_stats;
-    std::optional<tn::BatchedPlan> top_bplan, bot_bplan;
-    try {
-      top_bplan.emplace(top_tmpl.compile_batched(slots, capacity, &batched_compile_stats,
-                                                 counts, level, unconstrained));
-      bot_bplan.emplace(bot_tmpl.compile_batched(slots, capacity, &batched_compile_stats,
-                                                 counts, level, unconstrained));
-      if (!output_batch_worthwhile(*top_bplan) || !output_batch_worthwhile(*bot_bplan)) {
-        top_bplan.reset();
-        bot_bplan.reset();
-      }
-    } catch (const MemoryOutError&) {
-      // Combined batch exceeds the workspace budget; the per-output plan
-      // replay below fits and is bit-identical.
-      top_bplan.reset();
-      bot_bplan.reset();
-    }
-
-    if (top_bplan && bot_bplan) {
-      timer.eval_started();
-      run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
-        AmplitudeTemplate::BatchedSession top_session(top_tmpl, *top_bplan);
-        AmplitudeTemplate::BatchedSession bot_session(bot_tmpl, *bot_bplan);
-        std::vector<const tsr::Tensor*> top_ptrs(capacity * V), bot_ptrs(capacity * V);
-        std::vector<cplx> top_amp(capacity), bot_amp(capacity);
-        for (std::size_t b0 = begin; b0 < end; b0 += term_batch) {
-          const std::size_t tcount = std::min(term_batch, end - b0);
-          for (std::size_t o0 = 0; o0 < K; o0 += out_chunk) {
-            const std::size_t ocount = std::min(out_chunk, K - o0);
-            const std::size_t kk = tcount * ocount;
-            for (std::size_t t = 0; t < tcount; ++t) {
-              const Term& term = terms[b0 + t];
-              for (std::size_t o = 0; o < ocount; ++o) {
-                const std::size_t p = (t * ocount + o) * V;
-                // Dominant factor everywhere, subdominant at the chosen
-                // sites; the output chunk's caps in the trailing slots.
-                for (std::size_t s = 0; s < num_sites; ++s) {
-                  top_ptrs[p + s] = &top_fac[s][0];
-                  bot_ptrs[p + s] = &bot_fac[s][0];
-                }
-                for (std::size_t c = 0; c < term.sites.size(); ++c) {
-                  const std::size_t s = term.sites[c];
-                  top_ptrs[p + s] = &top_fac[s][term.term_idx[c]];
-                  bot_ptrs[p + s] = &bot_fac[s][term.term_idx[c]];
-                }
-                for (std::size_t q = 0; q < nn; ++q) {
-                  top_ptrs[p + num_sites + q] = caps_of_output[(o0 + o) * nn + q];
-                  bot_ptrs[p + num_sites + q] = caps_of_output[(o0 + o) * nn + q];
-                }
-              }
-            }
-            top_session.evaluate(std::span(top_ptrs).first(kk * V), kk, top_amp);
-            bot_session.evaluate(std::span(bot_ptrs).first(kk * V), kk, bot_amp);
-            for (std::size_t t = 0; t < tcount; ++t)
-              for (std::size_t o = 0; o < ocount; ++o)
-                values[(b0 + t) * K + o0 + o] =
-                    top_amp[t * ocount + o] * bot_amp[t * ocount + o];
-          }
-          for (std::size_t t = 0; t < tcount; ++t) note_progress();
-        }
-        worker_stats[w].merge(top_session.stats());
-        worker_stats[w].merge(bot_session.stats());
-      });
-      timer.eval_done();
-      result.contract_stats.merge(batched_compile_stats);
-    } else {
-      // Per-output plan replay: site tensors and the output's caps go in as
-      // per-call session substitutions.
-      timer.eval_started();
-      run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
-        AmplitudeTemplate::Session top_session = top_tmpl.session();
-        AmplitudeTemplate::Session bot_session = bot_tmpl.session();
-        std::vector<AmplitudeTemplate::Substitution> top_subs(num_sites + nn),
-            bot_subs(num_sites + nn);
-        for (std::size_t i = begin; i < end; ++i) {
-          const Term& term = terms[i];
-          for (std::size_t s = 0; s < num_sites; ++s) {
-            top_subs[s] = {site_node[s], &top_fac[s][0]};
-            bot_subs[s] = {site_node[s], &bot_fac[s][0]};
-          }
-          for (std::size_t c = 0; c < term.sites.size(); ++c) {
-            const std::size_t s = term.sites[c];
-            top_subs[s].second = &top_fac[s][term.term_idx[c]];
-            bot_subs[s].second = &bot_fac[s][term.term_idx[c]];
-          }
-          for (std::size_t o = 0; o < K; ++o) {
-            for (std::size_t q = 0; q < nn; ++q) {
-              const AmplitudeTemplate::Substitution cap{cap_nodes[q],
-                                                        caps_of_output[o * nn + q]};
-              top_subs[num_sites + q] = cap;
-              bot_subs[num_sites + q] = cap;
-            }
-            const cplx top_amp = top_session.evaluate(top_subs);
-            const cplx bot_amp = bot_session.evaluate(bot_subs);
-            values[i * K + o] = top_amp * bot_amp;
-          }
-          note_progress();
-        }
-        worker_stats[w].merge(top_session.stats());
-        worker_stats[w].merge(bot_session.stats());
-      });
-      timer.eval_done();
-    }
-    result.contract_stats.merge(top_tmpl.compile_stats());
-    result.contract_stats.merge(bot_tmpl.compile_stats());
-  } else {
-    // Reference path (state-vector backend, or reuse_plans disabled): each
-    // term materializes its gate lists and evaluates every output through
-    // batch_amplitudes (one evolution / one template per layer per term).
-    auto eval_term = [&](const Term& term, std::vector<qc::Gate>& top,
-                         std::vector<qc::Gate>& bottom, tn::ContractStats* stats,
-                         std::size_t i) {
-      for (std::size_t s = 0; s < num_sites; ++s) {
-        std::size_t t = 0;
-        for (std::size_t c = 0; c < term.sites.size(); ++c)
-          if (term.sites[c] == s) t = term.term_idx[c];
-        top[site_pos[s]].custom = base.sites[s].split.u[t];
-        // The bottom layer is evaluated with conjugate=true (which
-        // conjugates every matrix), so store conj(V) to apply V itself.
-        bottom[site_pos[s]].custom = base.sites[s].split.v[t].conj();
-      }
-      const std::vector<cplx> top_amp =
-          batch_amplitudes(n, top, psi_bits, v_bits, /*conjugate=*/false, eval, stats);
-      const std::vector<cplx> bot_amp =
-          batch_amplitudes(n, bottom, psi_bits, v_bits, /*conjugate=*/true, eval, stats);
-      for (std::size_t o = 0; o < K; ++o) values[i * K + o] = top_amp[o] * bot_amp[o];
-      note_progress();
-    };
-
-    timer.eval_started();
-    run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
-      std::vector<qc::Gate> top = skeleton, bottom = skeleton;
-      for (std::size_t i = begin; i < end; ++i)
-        eval_term(terms[i], top, bottom, &worker_stats[w], i);
-    });
-    timer.eval_done();
-  }
-
-  // Deterministic stats reduction in worker order.
-  for (const tn::ContractStats& ws : worker_stats) result.contract_stats.merge(ws);
-
-  // Per-output deterministic reduction in enumeration order -- the same
-  // arithmetic, in the same order, as the output's single-output sweep.
-  result.values.assign(K, 0.0);
-  result.raw.assign(K, cplx{0.0, 0.0});
-  result.term_sums.assign(K, std::vector<cplx>(level + 1, cplx{0.0, 0.0}));
-  result.level_values.assign(K, {});
-  for (std::size_t o = 0; o < K; ++o) {
-    for (std::size_t i = 0; i < terms.size(); ++i)
-      result.term_sums[o][terms[i].level] += values[i * K + o];
-    for (std::size_t u = 0; u <= level; ++u) {
-      result.raw[o] += result.term_sums[o][u];
-      result.level_values[o].push_back(result.raw[o].real());
-    }
-    result.values[o] = result.raw[o].real();
-  }
-  result.contractions = 2 * terms.size() * K;
-  return result;
+ApproxBatchResult xeb_sweep(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                            std::span<const std::uint64_t> v_bits, const SweepOptions& opts) {
+  return sweep_outputs(nc, psi_bits, v_bits, opts.approx, opts.shard_outputs);
 }
 
 ch::NoisyCircuit with_ideal_output_projector(const ch::NoisyCircuit& nc) {

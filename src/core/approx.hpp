@@ -19,6 +19,8 @@
 
 namespace noisim::core {
 
+class PlanCache;
+
 struct ApproxOptions {
   std::size_t level = 1;
   EvalOptions eval;
@@ -57,6 +59,19 @@ struct ApproxOptions {
   /// per-replay timeout_seconds budget scales with the batch (k terms get
   /// k replay budgets), so TO behavior does not depend on batch size.
   std::size_t batch_terms = 32;
+  /// Optional session-level plan/template cache (core/plan_cache.hpp).
+  /// When set, approximate_fidelity / approximate_fidelity_outputs /
+  /// xeb_sweep look their compiled AmplitudeTemplates and batched plans up
+  /// by topology key instead of recompiling them, so repeated calls over
+  /// the same skeleton (level ladders, accuracy sweeps, XEB batches
+  /// arriving over time) pay the planning cost once. Results are
+  /// bit-identical with or without a cache (plan compilation is
+  /// deterministic); the caller owns the cache and may share one instance
+  /// across concurrent calls (PlanCache is thread-safe). Cache traffic is
+  /// reported in ContractStats::plan_cache_hits / plan_cache_misses; calls
+  /// served from the cache report plans_compiled == 0. Only consulted on
+  /// the tensor-network reuse_plans path.
+  PlanCache* plan_cache = nullptr;
 };
 
 struct ApproxResult {
@@ -106,16 +121,19 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
 ///    shared across outputs, cap-cone rows across terms.
 /// outputs[o] is bit-identical to approximate_fidelity(nc, psi_bits,
 /// v_bits[o], opts) (same enumeration-order reduction per output); the
-/// progress callback still counts TERMS, not term x output pairs. When the
+/// progress callback still counts TERMS, not term x output pairs (a term is
+/// reported once its value has been folded for every output). When the
 /// combined batch exceeds max_workspace_elems the sweep falls back to
 /// per-output plan replay, which is bit-identical too.
 ///
-/// Memory scales as O(terms x K) for the per-term value table (the exact
-/// enumeration-order reduction that backs the bit-identity contract needs
-/// every term's value per output). Very large sweeps -- high levels times
-/// thousands of bitstrings -- should shard v_bits across calls; the
-/// templates and plans are the expensive setup and they are rebuilt per
-/// call, so shards of a few hundred bitstrings keep that amortized.
+/// Since the sharded sweep engine this is a thin wrapper over xeb_sweep
+/// with the default shard size: work is scheduled as a 2-D (term-range x
+/// output-chunk) queue, the output axis is threaded alongside the term
+/// axis, and each chunk's per-output level sums are reduced streaming in
+/// chunk-ordered term-enumeration order -- peak memory for the value table
+/// is O(outputs), not O(terms x outputs). Arbitrarily large v_bits spans
+/// are fine in one call; pair with ApproxOptions::plan_cache so repeated
+/// calls skip plan recompilation too.
 struct ApproxBatchResult {
   /// A(l) per output bitstring (real part of raw[o]).
   std::vector<double> values;
@@ -140,6 +158,43 @@ ApproxBatchResult approximate_fidelity_outputs(const ch::NoisyCircuit& nc,
                                                std::uint64_t psi_bits,
                                                std::span<const std::uint64_t> v_bits,
                                                const ApproxOptions& opts = {});
+
+/// Sharded XEB sweep: Algorithm 1 scored at an arbitrarily large set of
+/// output bitstrings through a single 2-D work queue.
+struct SweepOptions {
+  /// Term evaluation options (level, backend, threads, batch_terms,
+  /// plan_cache) -- identical semantics to approximate_fidelity. The
+  /// progress callback counts TERMS: a term is reported once its value has
+  /// been folded for every output, so the observed counts are strictly
+  /// increasing by one up to the term total exactly like the single-output
+  /// sweep's.
+  ApproxOptions approx;
+  /// Output-shard size: the bitstring set is partitioned into chunks of
+  /// this many outputs, and the work queue is the cross product of term
+  /// ranges (batch_terms wide) and output chunks -- workers drain (term
+  /// range x output chunk) items, so a low-level sweep with few terms and
+  /// thousands of bitstrings fills every thread instead of idling on a
+  /// term-only partition. 0 picks the default: 32 on the tensor-network
+  /// fast path (the batched-traversal knee), the whole set on the
+  /// state-vector / re-planning reference paths (whose per-term evaluation
+  /// already covers all outputs in one evolution). The shard size never
+  /// changes results, only scheduling granularity and transient memory.
+  std::size_t shard_outputs = 0;
+};
+
+/// Evaluate A(l) at every bitstring of `v_bits` over the 2-D (term-range x
+/// output-chunk) work queue described by `opts`. result[o] is bit-identical
+/// to approximate_fidelity(nc, psi_bits, v_bits[o], opts.approx) at EVERY
+/// thread count, shard size, and plan-cache state: each chunk folds its
+/// term values in global term-enumeration order (out-of-order item
+/// completions are stash-buffered through a bounded pool and folded in
+/// order), so every output reproduces the reference reduction arithmetic
+/// exactly. Peak memory for the sweep value table is O(outputs) -- per-chunk
+/// running level sums plus a buffer pool of O(threads) in-flight items --
+/// never the O(terms x outputs) table the pre-sharding sweep materialized.
+ApproxBatchResult xeb_sweep(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                            std::span<const std::uint64_t> v_bits,
+                            const SweepOptions& opts = {});
 
 /// Rewrite <v|E(rho)|v> with v = U_ideal |v_bits> into basis form by
 /// appending U_ideal^dagger to the circuit: <v|E(rho)|v> =

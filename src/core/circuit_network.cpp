@@ -63,12 +63,8 @@ tn::Network amplitude_network(int n, const std::vector<qc::Gate>& gates,
   return net;
 }
 
-namespace {
-
-/// Contraction options for a gate list under `opts`: resolves sequence_for
-/// (structure-aware ordering) into a Sequential custom sequence.
-tn::ContractOptions resolve_tn_options(int n, const std::vector<qc::Gate>& gates,
-                                       const EvalOptions& opts) {
+tn::ContractOptions resolved_contract_options(int n, const std::vector<qc::Gate>& gates,
+                                              const EvalOptions& opts) {
   tn::ContractOptions copts = opts.tn;
   if (opts.sequence_for) {
     std::vector<std::size_t> seq = opts.sequence_for(n, gates);
@@ -80,13 +76,11 @@ tn::ContractOptions resolve_tn_options(int n, const std::vector<qc::Gate>& gates
   return copts;
 }
 
-}  // namespace
-
 AmplitudeTemplate::AmplitudeTemplate(int n, const std::vector<qc::Gate>& skeleton,
                                      std::uint64_t psi_bits, std::uint64_t v_bits,
                                      bool conjugate, const EvalOptions& opts)
     : net_(amplitude_network(n, skeleton, psi_bits, v_bits, conjugate)),
-      copts_(resolve_tn_options(n, skeleton, opts)),
+      copts_(resolved_contract_options(n, skeleton, opts)),
       plan_(tn::ContractionPlan::compile(net_, copts_, &compile_stats_)),
       n_(n),
       num_gates_(skeleton.size()),
@@ -212,7 +206,7 @@ cplx amplitude(int n, const std::vector<qc::Gate>& gates, std::uint64_t psi_bits
 
   auto contract_tn = [&] {
     return tn::contract_to_scalar(amplitude_network(n, *use, psi_bits, v_bits, conjugate),
-                                  resolve_tn_options(n, *use, opts), stats);
+                                  resolved_contract_options(n, *use, opts), stats);
   };
 
   switch (opts.backend) {

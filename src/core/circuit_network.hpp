@@ -96,6 +96,14 @@ inline bool uses_tensor_network(const EvalOptions& opts, int n) {
          (opts.backend == EvalOptions::Backend::Auto && n > opts.sv_max_qubits);
 }
 
+/// The tn::ContractOptions an AmplitudeTemplate for this gate list would
+/// compile under: opts.tn with opts.sequence_for (structure-aware ordering)
+/// resolved into a Sequential custom sequence. Plan compilation is a pure
+/// function of (network topology, these options), which is what makes the
+/// resolved options a valid plan-cache key component (core::PlanCache).
+tn::ContractOptions resolved_contract_options(int n, const std::vector<qc::Gate>& gates,
+                                              const EvalOptions& opts);
+
 /// Caller policy shared by the output-batching paths (batch_amplitudes,
 /// approximate_fidelity_outputs, trajectories_tn_outputs): a compiled batch
 /// whose schedule is essentially ALL sequential (per-term) work -- the

@@ -405,4 +405,122 @@ std::vector<sim::TrajectoryResult> trajectories_tn_outputs(
   return sim::run_trajectories_multi(samples, K, seed, make_sampler, popts);
 }
 
+std::vector<sim::TrajectoryResult> trajectories_tn_sweep(
+    const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+    std::span<const std::uint64_t> v_bits, std::size_t samples, std::uint64_t seed,
+    const sim::ParallelOptions& popts, const EvalOptions& eval,
+    std::size_t shard_outputs) {
+  const std::size_t K = v_bits.size();
+  if (K == 0) return {};
+  if (samples == 0) return std::vector<sim::TrajectoryResult>(K);
+  const int n = nc.num_qubits();
+  const std::size_t nn = static_cast<std::size_t>(n);
+  const TnSkeleton sk = build_skeleton(nc);
+  const std::size_t num_sites = sk.mixtures.size();
+  constexpr std::size_t kOutputBatch = 32;
+
+  if (plan_replay_applies(eval, n)) {
+    const std::size_t shard = std::min(K, shard_outputs > 0 ? shard_outputs : kOutputBatch);
+    const TnPlanContext ctx(nc, sk, psi_bits, v_bits[0], eval, /*batch_capacity=*/1);
+
+    std::vector<const tsr::Tensor*> caps_of_output(K * nn);
+    for (std::size_t o = 0; o < K; ++o)
+      ctx.tmpl.fill_output_caps(v_bits[o], std::span(caps_of_output).subspan(o * nn, nn));
+
+    // One traversal covers up to the output-batched width; shards wider
+    // than it walk sub-chunks, narrower ones just underfill the plan.
+    const std::size_t ocap = std::min(shard, kOutputBatch);
+    std::optional<tn::BatchedPlan> obplan;
+    try {
+      obplan.emplace(ctx.tmpl.compile_batched_outputs(ocap));
+      if (!output_batch_worthwhile(*obplan)) obplan.reset();
+    } catch (const MemoryOutError&) {
+      // Batch-aware workspace budget exceeded; the per-output session
+      // replay below fits and produces bit-identical estimates.
+    }
+
+    if (obplan) {
+      auto make_sampler = [&](std::size_t) -> sim::ShardChunkSampler {
+        auto session =
+            std::make_shared<AmplitudeTemplate::BatchedSession>(ctx.tmpl, *obplan);
+        auto subs = std::make_shared<std::vector<AmplitudeTemplate::Substitution>>(num_sites);
+        auto ptrs = std::make_shared<std::vector<const tsr::Tensor*>>(ocap * nn);
+        auto amps = std::make_shared<std::vector<cplx>>(ocap);
+        return [&sk, &ctx, &caps_of_output, nn, ocap, num_sites, session, subs, ptrs, amps](
+                   std::mt19937_64& rng, std::size_t shard_begin, std::size_t shard_count,
+                   std::size_t count, std::span<double> out) {
+          for (std::size_t s = 0; s < count; ++s) {
+            // One draw set per trajectory, in sample order -- the same RNG
+            // consumption as every single-output path.
+            for (std::size_t site = 0; site < num_sites; ++site) {
+              const std::size_t j = sample_index(sk.mixtures[site].probs, rng);
+              (*subs)[site] = {ctx.site_node[site], &ctx.site_tensors[site][j]};
+            }
+            for (std::size_t o0 = 0; o0 < shard_count; o0 += ocap) {
+              const std::size_t k = std::min(ocap, shard_count - o0);
+              const std::size_t cap0 = (shard_begin + o0) * nn;
+              std::copy(caps_of_output.begin() + static_cast<std::ptrdiff_t>(cap0),
+                        caps_of_output.begin() + static_cast<std::ptrdiff_t>(cap0 + k * nn),
+                        ptrs->begin());
+              session->evaluate(*subs, std::span(*ptrs).first(k * nn), k,
+                                std::span<cplx>(*amps));
+              for (std::size_t t = 0; t < k; ++t)
+                out[s * shard_count + o0 + t] = std::norm((*amps)[t]);
+            }
+          }
+        };
+      };
+      return sim::run_trajectories_sharded(samples, K, shard, seed, make_sampler, popts);
+    }
+
+    auto make_sampler = [&](std::size_t) -> sim::ShardChunkSampler {
+      auto session = std::make_shared<AmplitudeTemplate::Session>(ctx.tmpl.session());
+      auto subs =
+          std::make_shared<std::vector<AmplitudeTemplate::Substitution>>(num_sites + nn);
+      return [&sk, &ctx, &caps_of_output, nn, num_sites, session, subs](
+                 std::mt19937_64& rng, std::size_t shard_begin, std::size_t shard_count,
+                 std::size_t count, std::span<double> out) {
+        for (std::size_t s = 0; s < count; ++s) {
+          for (std::size_t site = 0; site < num_sites; ++site) {
+            const std::size_t j = sample_index(sk.mixtures[site].probs, rng);
+            (*subs)[site] = {ctx.site_node[site], &ctx.site_tensors[site][j]};
+          }
+          for (std::size_t o = 0; o < shard_count; ++o) {
+            for (std::size_t q = 0; q < nn; ++q)
+              (*subs)[num_sites + q] = {ctx.tmpl.node_of_output_cap(static_cast<int>(q)),
+                                        caps_of_output[(shard_begin + o) * nn + q]};
+            out[s * shard_count + o] = std::norm(session->evaluate(*subs));
+          }
+        }
+      };
+    };
+    return sim::run_trajectories_sharded(samples, K, shard, seed, make_sampler, popts);
+  }
+
+  // Non-replay backends: one evolution scores a whole shard, so the default
+  // shard is all K (sharding would repeat the evolution per shard; explicit
+  // shards stay bit-identical, just costlier).
+  const std::size_t shard = std::min(K, shard_outputs > 0 ? shard_outputs : K);
+  auto make_sampler = [&](std::size_t) -> sim::ShardChunkSampler {
+    auto gates = std::make_shared<std::vector<qc::Gate>>(sk.gates);
+    return [&sk, gates, n, psi_bits, v_bits, eval](std::mt19937_64& rng,
+                                                   std::size_t shard_begin,
+                                                   std::size_t shard_count,
+                                                   std::size_t count, std::span<double> out) {
+      for (std::size_t s = 0; s < count; ++s) {
+        for (std::size_t site = 0; site < sk.mixtures.size(); ++site) {
+          const std::size_t j = sample_index(sk.mixtures[site].probs, rng);
+          (*gates)[sk.site_gate_index[site]].custom = sk.mixtures[site].unitaries[j];
+        }
+        const std::vector<cplx> amps =
+            batch_amplitudes(n, *gates, psi_bits, v_bits.subspan(shard_begin, shard_count),
+                             /*conjugate=*/false, eval);
+        for (std::size_t o = 0; o < shard_count; ++o)
+          out[s * shard_count + o] = std::norm(amps[o]);
+      }
+    };
+  };
+  return sim::run_trajectories_sharded(samples, K, shard, seed, make_sampler, popts);
+}
+
 }  // namespace noisim::core

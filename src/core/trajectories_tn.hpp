@@ -53,4 +53,24 @@ std::vector<sim::TrajectoryResult> trajectories_tn_outputs(
     std::span<const std::uint64_t> v_bits, std::size_t samples, std::uint64_t seed,
     const sim::ParallelOptions& popts, const EvalOptions& eval = {});
 
+/// Sharded variant of trajectories_tn_outputs for very large bitstring
+/// sets: the bitstrings are partitioned into shards of `shard_outputs` and
+/// the (bitstring-shard x sample-chunk) grid forms a single 2-D work queue
+/// (sim::run_trajectories_sharded). Each item draws its chunk's noise
+/// realizations once -- the same streams every shard and the unsharded path
+/// draw, since the site draws are independent of the scored outputs -- and
+/// scores the shard's bitstrings via the shared-substitution output-batched
+/// traversals. Element t is bit-identical to trajectories_tn_outputs and to
+/// trajectories_tn(nc, psi_bits, v_bits[t], ...) at EVERY thread count and
+/// shard size; per-worker transient storage is O(chunk_size x shard)
+/// instead of O(chunk_size x K). shard_outputs 0 picks the default: 32
+/// (the output-batched traversal width) on the plan-replay path, all K on
+/// the other backends (whose per-sample evaluation covers every output in
+/// one evolution, so sharding would repeat it).
+std::vector<sim::TrajectoryResult> trajectories_tn_sweep(
+    const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+    std::span<const std::uint64_t> v_bits, std::size_t samples, std::uint64_t seed,
+    const sim::ParallelOptions& popts, const EvalOptions& eval = {},
+    std::size_t shard_outputs = 0);
+
 }  // namespace noisim::core

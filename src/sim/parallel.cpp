@@ -172,6 +172,72 @@ std::vector<TrajectoryResult> run_trajectories_multi(
   return out;
 }
 
+std::vector<TrajectoryResult> run_trajectories_sharded(
+    std::size_t samples, std::size_t num_estimates, std::size_t shard_size,
+    std::uint64_t seed, const ShardChunkSamplerFactory& make_sampler,
+    const ParallelOptions& opts) {
+  la::detail::require(opts.chunk_size > 0, "run_trajectories: chunk_size must be positive");
+  std::vector<TrajectoryResult> out(num_estimates);
+  if (samples == 0 || num_estimates == 0) return out;
+
+  const std::size_t shard =
+      std::min(num_estimates, shard_size > 0 ? shard_size : num_estimates);
+  const std::size_t num_shards = (num_estimates + shard - 1) / shard;
+  const std::size_t num_chunks = (samples + opts.chunk_size - 1) / opts.chunk_size;
+  const std::size_t num_items = num_shards * num_chunks;
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min(resolve_threads(opts.threads), num_items));
+
+  // The same per-(chunk, estimate) accumulators run_trajectories_multi
+  // keeps; only the work decomposition (and the per-worker value buffer)
+  // is sharded, so the chunk-order merge below is unchanged.
+  std::vector<Welford> chunk_stats(num_chunks * num_estimates);
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&](std::size_t w) {
+    ShardChunkSampler sampler = make_sampler(w);
+    std::vector<double> values(opts.chunk_size * shard);
+    while (true) {
+      const std::size_t item = next.fetch_add(1, std::memory_order_relaxed);
+      if (item >= num_items) break;
+      const std::size_t c = item / num_shards;
+      const std::size_t sh = item % num_shards;
+      const std::size_t shard_begin = sh * shard;
+      const std::size_t shard_count = std::min(shard, num_estimates - shard_begin);
+      const std::size_t begin = c * opts.chunk_size;
+      const std::size_t count = std::min(begin + opts.chunk_size, samples) - begin;
+      std::mt19937_64 rng = chunk_rng(seed, c);
+      sampler(rng, shard_begin, shard_count, count,
+              std::span<double>(values.data(), count * shard_count));
+      for (std::size_t j = 0; j < shard_count; ++j) {
+        Welford& stats = chunk_stats[c * num_estimates + shard_begin + j];
+        for (std::size_t s = 0; s < count; ++s) stats.add(values[s * shard_count + j]);
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w)
+      futures.push_back(std::async(std::launch::async, worker, w));
+    for (auto& f : futures) f.get();  // rethrows worker exceptions
+  }
+
+  for (std::size_t o = 0; o < num_estimates; ++o) {
+    Welford total;
+    for (std::size_t c = 0; c < num_chunks; ++c)
+      total.merge(chunk_stats[c * num_estimates + o]);
+    out[o].samples = total.count;
+    out[o].mean = total.mean;
+    if (total.count > 1)
+      out[o].std_error = std::sqrt(total.variance() / static_cast<double>(total.count));
+  }
+  return out;
+}
+
 TrajectoryResult run_trajectories(std::size_t samples, std::uint64_t seed,
                                   const SamplerFactory& make_sampler,
                                   const ParallelOptions& opts) {

@@ -118,4 +118,34 @@ std::vector<TrajectoryResult> run_trajectories_multi(
     std::size_t samples, std::size_t num_estimates, std::uint64_t seed,
     const MultiChunkSamplerFactory& make_sampler, const ParallelOptions& opts = {});
 
+/// Fill one chunk's samples for the estimates of ONE shard:
+/// values[s * shard_count + j] = trajectory s scored for estimate
+/// shard_begin + j (s < sample_count). Per-sample randomness must be drawn
+/// in sample order exactly as the single-estimate path would -- one draw
+/// set per trajectory, independent of which shard is being scored -- so
+/// every estimate's stream matches its standalone run bit for bit. Shards
+/// of the same chunk redraw the same per-sample randomness (draws are cheap
+/// next to scoring).
+using ShardChunkSampler =
+    std::function<void(std::mt19937_64&, std::size_t, std::size_t, std::size_t,
+                       std::span<double>)>;
+/// Per-worker shard-chunk sampler factory (owns scratch).
+using ShardChunkSamplerFactory = std::function<ShardChunkSampler(std::size_t worker)>;
+
+/// run_trajectories_multi over a single 2-D (estimate-shard x sample-chunk)
+/// work queue: the estimates are partitioned into shards of `shard_size`
+/// (0 = one shard holding all of them) and workers steal (shard, chunk)
+/// items, so a sweep with few sample chunks but many estimates fills every
+/// thread instead of idling on a chunk-only partition, and a worker's value
+/// buffer holds chunk_size x shard_size samples instead of chunk_size x
+/// num_estimates. Estimate o is bit-identical to run_trajectories_multi and
+/// to the single-estimate runner fed stream o, at every thread count and
+/// shard size: per-(estimate, chunk) Welford accumulation and the
+/// chunk-order merge are unchanged, and the chunk RNG streams depend only
+/// on (seed, chunk_size).
+std::vector<TrajectoryResult> run_trajectories_sharded(
+    std::size_t samples, std::size_t num_estimates, std::size_t shard_size,
+    std::uint64_t seed, const ShardChunkSamplerFactory& make_sampler,
+    const ParallelOptions& opts = {});
+
 }  // namespace noisim::sim

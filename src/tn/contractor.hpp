@@ -79,6 +79,13 @@ struct ContractStats {
   /// + write, and the final output materialization. Together with `flops`
   /// this records the arithmetic intensity of a run.
   std::size_t bytes_moved = 0;
+  /// Session-level plan-cache accounting (core::PlanCache): lookups served
+  /// from the cache vs lookups that had to compile a template or batched
+  /// plan. Zero when the sweep ran without a cache. Cached calls report
+  /// plans_compiled == 0 alongside plan_cache_hits > 0, which is how the
+  /// bench ladder verifies the recompilation actually disappeared.
+  std::size_t plan_cache_hits = 0;
+  std::size_t plan_cache_misses = 0;
 
   /// Fold another record into this one (counters add, peaks max) -- used
   /// to aggregate per-worker stats deterministically.
@@ -91,6 +98,8 @@ struct ContractStats {
     plan_reuse_hits += o.plan_reuse_hits;
     flops += o.flops;
     bytes_moved += o.bytes_moved;
+    plan_cache_hits += o.plan_cache_hits;
+    plan_cache_misses += o.plan_cache_misses;
   }
 };
 

@@ -163,6 +163,59 @@ TEST(BatchedOutputs, WorkspaceBudgetTripsOnlyTheOutputBatch) {
   for (std::size_t t = 0; t < vb.size(); ++t) EXPECT_EQ(budgeted[t], full[t]);
 }
 
+// --- sequential_flop_fraction fallback boundary -------------------------------
+//
+// output_batch_worthwhile draws the line at 0.999: a compiled batch whose
+// schedule is essentially all sequential (per-term) work can only add
+// bookkeeping over per-bitstring replay. The two supremacy depths below
+// land just under and just over the threshold (0.9989 vs 0.9993 on the
+// seeded planner), pinning the policy boundary AND the bit-identity of both
+// execution strategies on both sides.
+
+TEST(FlopFraction, JustBelowThresholdKeepsTheBatchedPath) {
+  const qc::Circuit c = bench::supremacy_inst(4, 4, 16, 5);
+  const AmplitudeTemplate tmpl(16, c.gates(), 0, 0, false, tn_eval());
+  const tn::BatchedPlan bp = tmpl.compile_batched_outputs(2);
+  EXPECT_GT(bp.sequential_flop_fraction(), 0.99);
+  EXPECT_LT(bp.sequential_flop_fraction(), 0.999);
+  // The exact branch condition batch_amplitudes / the sweep engine /
+  // trajectories_tn_outputs test before keeping their batched plan.
+  EXPECT_TRUE(output_batch_worthwhile(bp));
+  const std::vector<std::uint64_t> vb = sampled_bitstrings(16, 2, 71);
+  expect_batch_matches_amplitude(16, c.gates(), vb, tn_eval());
+}
+
+TEST(FlopFraction, AtOrAboveThresholdFallsBackToPerBitstringReplay) {
+  const qc::Circuit c = bench::supremacy_inst(4, 4, 24, 5);
+  const AmplitudeTemplate tmpl(16, c.gates(), 0, 0, false, tn_eval());
+  const tn::BatchedPlan bp = tmpl.compile_batched_outputs(2);
+  EXPECT_GE(bp.sequential_flop_fraction(), 0.999);
+  EXPECT_LE(bp.sequential_flop_fraction(), 1.0);
+  EXPECT_FALSE(output_batch_worthwhile(bp));
+  // The convenience API therefore replays per bitstring -- bit-identically.
+  const std::vector<std::uint64_t> vb = sampled_bitstrings(16, 2, 73);
+  expect_batch_matches_amplitude(16, c.gates(), vb, tn_eval());
+
+  // And the rejected batched plan itself still agrees bitwise with session
+  // replay: the policy is a performance call, never a correctness one.
+  AmplitudeTemplate::BatchedSession batched(tmpl, bp);
+  std::vector<const tsr::Tensor*> ptrs(2 * 16);
+  for (std::size_t t = 0; t < 2; ++t)
+    tmpl.fill_output_caps(vb[t], std::span(ptrs).subspan(t * 16, 16));
+  std::vector<cplx> out(2);
+  batched.evaluate(std::span<const tsr::Tensor* const>(ptrs), 2, out);
+  AmplitudeTemplate::Session session = tmpl.session();
+  std::vector<AmplitudeTemplate::Substitution> subs(16);
+  std::vector<const tsr::Tensor*> caps(16);
+  for (std::size_t t = 0; t < 2; ++t) {
+    tmpl.fill_output_caps(vb[t], caps);
+    for (int q = 0; q < 16; ++q)
+      subs[static_cast<std::size_t>(q)] = {tmpl.node_of_output_cap(q),
+                                           caps[static_cast<std::size_t>(q)]};
+    EXPECT_EQ(session.evaluate(subs), out[t]);
+  }
+}
+
 // --- approximate_fidelity_outputs ---------------------------------------------
 
 ch::NoisyCircuit xeb_workload(int n, std::size_t noises, std::uint64_t seed) {
