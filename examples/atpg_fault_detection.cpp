@@ -33,8 +33,11 @@ int main() {
   std::uniform_int_distribution<std::uint64_t> pick(0, (1u << circuit.num_qubits()) - 1);
   for (int i = 0; i < 15; ++i) candidates.push_back(pick(rng));
 
-  core::ApproxOptions opts;
-  opts.level = 1;
+  // Enter through the budget-driven front door: simulate() picks the
+  // backend and configuration per pattern (here the fault is not a unitary
+  // mixture, so TN trajectories are automatically ruled out).
+  core::SimulateOptions opts;
+  opts.error_budget = 1e-2;
   const core::TestPatternResult result = core::best_test_pattern(faulty, candidates, opts);
 
   bench::Table table({"pattern", "detection prob"});

@@ -4,8 +4,14 @@
 // today's hardware?"
 //
 // The expected output |v> = U|0..0> is folded into the circuit as the
-// adjoint projector, so the level-1 split networks collapse to the noise
-// light cones and the 36-qubit sweep runs in seconds.
+// adjoint projector, so the split networks collapse to the noise light
+// cones and the 36-qubit sweep runs in seconds.
+//
+// Entry is through the budget-driven core::simulate() front door: at 36
+// qubits every state-vector-sized backend is ruled out by memory and the
+// thermal-relaxation channels are not unitary mixtures, so selection lands
+// on the Algorithm-1 level ladder and picks the cheapest level whose bound
+// meets the error budget.
 //
 // Build & run:  ./build/examples/qaoa_fidelity_study
 
@@ -13,8 +19,9 @@
 
 #include "bench_support/generators.hpp"
 #include "bench_support/harness.hpp"
-#include "core/approx.hpp"
+#include "core/backend.hpp"
 #include "core/bounds.hpp"
+#include "core/plan_cache.hpp"
 
 int main() {
   using namespace noisim;
@@ -25,21 +32,27 @@ int main() {
             << " gates, depth " << circuit.depth() << "\n"
             << "noise model: thermal relaxation (T1/T2 decoherence), rate ~7e-3\n\n";
 
-  bench::Table table({"#noises", "fidelity (level-1)", "thm1 bound", "time(s)"});
+  core::PlanCache cache;  // shared across the sweep: plans compile once
+  bench::Table table({"#noises", "fidelity", "backend", "level", "bound", "time(s)"});
   for (std::size_t noises : {2u, 5u, 10u, 15u, 20u}) {
     const ch::NoisyCircuit nc =
         bench::insert_noises(circuit, noises, bench::realistic_noise(7e-3), 77 + noises);
     const ch::NoisyCircuit projected = core::with_ideal_output_projector(nc);
 
-    core::ApproxOptions opts;
-    opts.level = 1;
+    core::SimulateOptions opts;
+    opts.error_budget = 5e-2;
     opts.eval.simplify = true;  // light-cone reduction around the noise sites
-    const auto run = bench::run_guarded(
-        [&] { return core::approximate_fidelity(projected, 0, 0, opts).value; });
+    opts.plan_cache = &cache;
+    core::SimResult pick;
+    const auto run = bench::run_guarded([&] {
+      pick = core::simulate(projected, 0, 0, opts);
+      return pick.value;
+    });
 
     table.add_row({std::to_string(noises), run.ok() ? bench::fixed(run.value, 6) : "-",
-                   bench::sci(core::theorem1_error_bound(noises, 8e-3 * 1.25, 1)),
-                   bench::format_time(run)});
+                   run.ok() ? core::backend_name(pick.backend) : "-",
+                   run.ok() ? std::to_string(pick.config.level) : "-",
+                   run.ok() ? bench::sci(pick.error_bound) : "-", bench::format_time(run)});
   }
   table.print(std::cout);
   std::cout << "\nEach additional decoherence site multiplies the circuit fidelity by\n"

@@ -9,6 +9,7 @@
 
 #include "channels/catalog.hpp"
 #include "core/approx.hpp"
+#include "core/backend.hpp"
 #include "core/bounds.hpp"
 #include "sim/density.hpp"
 
@@ -53,5 +54,13 @@ int main() {
   std::cout << "\nTheorem-1 bound at level 1: "
             << core::theorem1_error_bound(noisy.noise_count(), noisy.max_noise_rate(), 1)
             << " (contractions used: " << result.contractions << ")\n";
+
+  // Or skip the backend choice entirely: core::simulate() estimates every
+  // engine's cost at plan time and runs the cheapest one meeting the budget.
+  core::SimulateOptions sopts;
+  sopts.error_budget = 1e-3;
+  const core::SimResult picked = core::simulate(noisy, 0b00, 0b00, sopts);
+  std::cout << "\nsimulate(error_budget=1e-3) chose " << core::backend_name(picked.backend)
+            << ": value = " << picked.value << ", bound = " << picked.error_bound << "\n";
   return 0;
 }

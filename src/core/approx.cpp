@@ -265,20 +265,16 @@ AcquiredTemplate acquire_template(PlanCache* cache, int n,
                                   std::uint64_t psi_bits, std::uint64_t v_bits,
                                   bool conjugate, const EvalOptions& eval,
                                   tn::ContractStats& setup_stats) {
+  // `eval` arrives boundary-resolved (resolved_eval_options ran once where
+  // the sweep fixed its skeleton), so eval.tn is already in plan-cache key
+  // form and the template's own resolution is a pass-through.
   AcquiredTemplate out;
   if (cache) {
-    // Resolve sequence_for ONCE: the resolved options serve as the key
-    // component AND replace eval for the builder (with the callback
-    // cleared, the template's own resolution is a pass-through), so a
-    // skeleton-walking sequence function never runs twice per miss.
-    EvalOptions resolved = eval;
-    resolved.tn = resolved_contract_options(n, skeleton, eval);
-    resolved.sequence_for = nullptr;
     bool hit = false;
     out.entry = cache->entry(
-        PlanCache::template_key(n, skeleton, psi_bits, v_bits, conjugate, resolved.tn),
+        PlanCache::template_key(n, skeleton, psi_bits, v_bits, conjugate, eval.tn),
         [&] {
-          return AmplitudeTemplate(n, skeleton, psi_bits, v_bits, conjugate, resolved);
+          return AmplitudeTemplate(n, skeleton, psi_bits, v_bits, conjugate, eval);
         },
         &hit);
     if (hit) {
@@ -380,7 +376,10 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
   if (opts.eval.simplify) skeleton = qc::cancel_inverse_pairs(std::move(skeleton));
   const std::vector<std::size_t> site_pos = locate_sites(skeleton, num_sites);
 
-  EvalOptions eval = opts.eval;
+  // Resolve the evaluation options once at the sweep boundary: sequence_for
+  // is materialized against the final skeleton here and never re-run by the
+  // templates, cache keys, or per-term evaluations below.
+  EvalOptions eval = resolved_eval_options(n, skeleton, opts.eval);
   eval.simplify = false;  // already applied to the skeleton
 
   const std::vector<Term> terms = enumerate_terms(base.sites, level);
@@ -752,6 +751,76 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
 
 }  // namespace
 
+double ApproxCostModel::error_bound(std::size_t level) const {
+  return generalized_error_bound(dominant_norms, subdominant_norms,
+                                 std::min(level, num_sites));
+}
+
+double ApproxCostModel::term_count(std::size_t level) const {
+  // Elementary symmetric sums over the per-site subdominant choice counts
+  // (split_terms[s] - 1): e_u sums the products over every u-subset of
+  // sites, so the level-l sweep enumerates sum_{u<=l} e_u terms -- equal to
+  // sum_{u<=l} C(N,u) 3^u (contraction_count / 2) when every site is
+  // 1-qubit.
+  const std::size_t l = std::min(level, num_sites);
+  std::vector<double> e(l + 1, 0.0);
+  e[0] = 1.0;
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    const double choices = static_cast<double>(split_terms[s] - 1);
+    for (std::size_t u = std::min(l, s + 1); u > 0; --u) e[u] += e[u - 1] * choices;
+  }
+  double total = 0.0;
+  for (const double x : e) total += x;
+  return total;
+}
+
+ApproxCostModel approx_cost_model(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                  std::uint64_t v_bits, const ApproxOptions& opts) {
+  const int n = nc.num_qubits();
+  BaseLists base = build_base(nc);
+
+  ApproxCostModel model;
+  model.num_sites = base.sites.size();
+  model.max_rate = nc.max_noise_rate();
+  for (const Site& s : base.sites) {
+    model.dominant_norms.push_back(la::spectral_norm(s.split.term(0)));
+    model.subdominant_norms.push_back(s.split.dominant_term_error());
+    model.split_terms.push_back(s.split.terms());
+    if (s.arity != 1) model.all_1q = false;
+  }
+
+  // Same skeleton pipeline as the sweeps: simplify once, locate the (guarded)
+  // insertions, resolve the options at the boundary.
+  std::vector<qc::Gate> skeleton = std::move(base.gates);
+  if (opts.eval.simplify) skeleton = qc::cancel_inverse_pairs(std::move(skeleton));
+  locate_sites(skeleton, model.num_sites);
+  EvalOptions eval = resolved_eval_options(n, skeleton, opts.eval);
+  eval.simplify = false;
+
+  model.tensor_network = uses_tensor_network(eval, n);
+  if (model.tensor_network) {
+    // Compile (or fetch) the top-layer template under the sweep's own cache
+    // key: the plan's flops/arena ARE the per-layer cost, and a cache miss
+    // here is work the run would have paid anyway.
+    tn::ContractStats setup_stats;
+    const AcquiredTemplate top = acquire_template(opts.plan_cache, n, skeleton, psi_bits,
+                                                  v_bits, /*conjugate=*/false, eval,
+                                                  setup_stats);
+    const tn::ContractionPlan& plan = top.tmpl().plan();
+    model.layer_flops = static_cast<double>(plan.total_flops());
+    model.peak_elems = plan.workspace_elems();
+  } else {
+    // State-vector path: one forward evolution per layer, a 2x2 (4x4) row
+    // update per amplitude per gate.
+    const double dim = std::pow(2.0, std::min(n, 62));
+    double flops = 0.0;
+    for (const qc::Gate& g : skeleton) flops += (g.num_qubits() == 1 ? 2.0 : 4.0) * dim;
+    model.layer_flops = flops;
+    model.peak_elems = static_cast<std::size_t>(dim);
+  }
+  return model;
+}
+
 ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
                                   std::uint64_t v_bits, const ApproxOptions& opts) {
   const int n = nc.num_qubits();
@@ -765,7 +834,9 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
   if (opts.eval.simplify) skeleton = qc::cancel_inverse_pairs(std::move(skeleton));
   const std::vector<std::size_t> site_pos = locate_sites(skeleton, num_sites);
 
-  EvalOptions eval = opts.eval;
+  // Resolve the evaluation options once at the sweep boundary (see
+  // sweep_outputs): downstream resolution sites become pass-throughs.
+  EvalOptions eval = resolved_eval_options(n, skeleton, opts.eval);
   eval.simplify = false;  // already applied to the skeleton
 
   const std::vector<Term> terms = enumerate_terms(base.sites, level);

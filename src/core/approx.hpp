@@ -196,6 +196,55 @@ ApproxBatchResult xeb_sweep(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
                             std::span<const std::uint64_t> v_bits,
                             const SweepOptions& opts = {});
 
+/// Plan-time cost/accuracy model of an Algorithm-1 sweep: what the
+/// simulate() front door's TN adapters consult to search the level ladder
+/// WITHOUT contracting anything. Built from the same skeleton, boundary-
+/// resolved options, and plan-cache key approximate_fidelity itself uses, so
+/// a template compiled during estimation is exactly the one the subsequent
+/// run replays (estimation pre-warms the cache).
+struct ApproxCostModel {
+  std::size_t num_sites = 0;
+  /// Every noise site is 1-qubit, i.e. the paper's Theorem 1 applies.
+  bool all_1q = true;
+  double max_rate = 0.0;
+  /// Per-site split norms: ||U_0 (x) V_0||_2 and ||M - U_0 (x) V_0||_2.
+  std::vector<double> dominant_norms;
+  std::vector<double> subdominant_norms;
+  /// Per-site Kronecker term count (4 for 1-qubit noise, 16 for 2-qubit).
+  std::vector<std::size_t> split_terms;
+  /// Cost of ONE single-layer evaluation in complex multiply-adds: the
+  /// compiled plan's total_flops on the tensor-network path, the 2^n
+  /// gate-sweep model on the state-vector path.
+  double layer_flops = 0.0;
+  /// Transient memory of one evaluation in complex elements: the plan's
+  /// liveness-packed arena high-water mark / the state-vector size.
+  std::size_t peak_elems = 0;
+  /// Which per-term path the sweep takes for this circuit + options.
+  bool tensor_network = false;
+
+  /// Error bound the level-l sweep reports: the generalized per-site product
+  /// bound, computed from the same norms fill_error_bounds uses, so it
+  /// matches ApproxResult::tight_error_bound exactly.
+  double error_bound(std::size_t level) const;
+  /// Number of enumerated terms of the level-l sum (sum of elementary
+  /// symmetric sums over the per-site subdominant choices; C(N,u) 3^u terms
+  /// at level u when every site is 1-qubit). Returned as double -- the count
+  /// grows combinatorially.
+  double term_count(std::size_t level) const;
+  /// Modeled work of the level-l sweep: two single-layer evaluations per
+  /// enumerated term (Theorem 1's cost model).
+  double sweep_flops(std::size_t level) const { return 2.0 * term_count(level) * layer_flops; }
+};
+
+/// Build the cost model for approximate_fidelity(nc, psi_bits, v_bits,
+/// opts). On the tensor-network path this compiles (or fetches from
+/// opts.plan_cache) the top-layer AmplitudeTemplate under the sweep's own
+/// cache key, so MemoryOutError / TimeoutError surface here exactly as they
+/// would at the start of the run. opts.level is ignored -- the model answers
+/// for every level through error_bound/term_count/sweep_flops.
+ApproxCostModel approx_cost_model(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
+                                  std::uint64_t v_bits, const ApproxOptions& opts = {});
+
 /// Rewrite <v|E(rho)|v> with v = U_ideal |v_bits> into basis form by
 /// appending U_ideal^dagger to the circuit: <v|E(rho)|v> =
 /// <v_bits| (U^dag . E)(rho) |v_bits>. Combined with EvalOptions::simplify

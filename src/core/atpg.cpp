@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/plan_cache.hpp"
+
 namespace noisim::core {
 
 double fault_detection_probability(const ch::NoisyCircuit& nc, std::uint64_t test_bits,
@@ -22,6 +24,36 @@ TestPatternResult best_test_pattern(const ch::NoisyCircuit& nc,
   out.all.reserve(candidates.size());
   for (std::uint64_t pattern : candidates) {
     const double p = fault_detection_probability(nc, pattern, opts);
+    out.all.push_back(p);
+    if (p > out.detection_probability) {
+      out.detection_probability = p;
+      out.pattern = pattern;
+    }
+  }
+  return out;
+}
+
+double fault_detection_probability(const ch::NoisyCircuit& nc, std::uint64_t test_bits,
+                                   const SimulateOptions& opts) {
+  const ch::NoisyCircuit projected = with_ideal_output_projector(nc);
+  SimulateOptions run = opts;
+  run.eval.simplify = true;  // the projector rewrite makes this pay off
+  const double escape = simulate(projected, test_bits, test_bits, run).value;
+  // Clamp: an approximate backend can overshoot [0, 1] by its error bound.
+  return std::clamp(1.0 - escape, 0.0, 1.0);
+}
+
+TestPatternResult best_test_pattern(const ch::NoisyCircuit& nc,
+                                    const std::vector<std::uint64_t>& candidates,
+                                    const SimulateOptions& opts) {
+  la::detail::require(!candidates.empty(), "best_test_pattern: no candidates");
+  SimulateOptions run = opts;
+  PlanCache scan_cache(16);
+  if (!run.plan_cache) run.plan_cache = &scan_cache;
+  TestPatternResult out;
+  out.all.reserve(candidates.size());
+  for (std::uint64_t pattern : candidates) {
+    const double p = fault_detection_probability(nc, pattern, run);
     out.all.push_back(p);
     if (p > out.detection_probability) {
       out.detection_probability = p;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/approx.hpp"
+#include "core/backend.hpp"
 
 namespace noisim::core {
 
@@ -21,6 +22,15 @@ namespace noisim::core {
 /// Evaluated through the ideal-output projector rewrite + Algorithm 1.
 double fault_detection_probability(const ch::NoisyCircuit& nc, std::uint64_t test_bits,
                                    const ApproxOptions& opts = {});
+
+/// Budget-driven variant: the escape probability is evaluated through the
+/// simulate() front door on the projected circuit (with the light-cone
+/// simplification enabled), so the backend and its configuration are chosen
+/// to meet `opts` instead of hard-coding Algorithm 1. Faults that are not
+/// unitary mixtures (e.g. amplitude damping) simply rule the TN-trajectories
+/// backend out; selection proceeds with the rest.
+double fault_detection_probability(const ch::NoisyCircuit& nc, std::uint64_t test_bits,
+                                   const SimulateOptions& opts);
 
 struct TestPatternResult {
   std::uint64_t pattern = 0;
@@ -35,5 +45,13 @@ struct TestPatternResult {
 TestPatternResult best_test_pattern(const ch::NoisyCircuit& nc,
                                     const std::vector<std::uint64_t>& candidates,
                                     const ApproxOptions& opts = {});
+
+/// Budget-driven variant of the pattern scan through simulate(). When
+/// opts.plan_cache is null a scan-local cache is shared across candidates,
+/// so each pattern's estimate pre-warms exactly the template its run
+/// replays and repeated patterns skip planning entirely.
+TestPatternResult best_test_pattern(const ch::NoisyCircuit& nc,
+                                    const std::vector<std::uint64_t>& candidates,
+                                    const SimulateOptions& opts);
 
 }  // namespace noisim::core

@@ -76,6 +76,14 @@ tn::ContractOptions resolved_contract_options(int n, const std::vector<qc::Gate>
   return copts;
 }
 
+EvalOptions resolved_eval_options(int n, const std::vector<qc::Gate>& gates,
+                                  const EvalOptions& opts) {
+  EvalOptions out = opts;
+  out.tn = resolved_contract_options(n, gates, opts);
+  out.sequence_for = nullptr;
+  return out;
+}
+
 AmplitudeTemplate::AmplitudeTemplate(int n, const std::vector<qc::Gate>& skeleton,
                                      std::uint64_t psi_bits, std::uint64_t v_bits,
                                      bool conjugate, const EvalOptions& opts)

@@ -104,6 +104,15 @@ inline bool uses_tensor_network(const EvalOptions& opts, int n) {
 tn::ContractOptions resolved_contract_options(int n, const std::vector<qc::Gate>& gates,
                                               const EvalOptions& opts);
 
+/// `opts` in boundary-resolved form: tn replaced by resolved_contract_options
+/// and sequence_for cleared. The evaluation engines (Algorithm-1 sweeps,
+/// simulate() adapters) call this ONCE where the gate list is fixed and
+/// thread the result through, so a skeleton-walking sequence function never
+/// runs per template, per layer, or per call. Idempotent: resolving an
+/// already-resolved EvalOptions is a pass-through copy.
+EvalOptions resolved_eval_options(int n, const std::vector<qc::Gate>& gates,
+                                  const EvalOptions& opts);
+
 /// Caller policy shared by the output-batching paths (batch_amplitudes,
 /// approximate_fidelity_outputs, trajectories_tn_outputs): a compiled batch
 /// whose schedule is essentially ALL sequential (per-term) work -- the

@@ -182,6 +182,23 @@ bool plan_replay_applies(const EvalOptions& eval, int n) {
 
 }  // namespace
 
+bool trajectories_tn_eligible(const ch::NoisyCircuit& nc) {
+  // Mirrors build_skeleton's channel validation without throwing.
+  for (const ch::Op& op : nc.ops()) {
+    const ch::NoiseOp* noise = std::get_if<ch::NoiseOp>(&op);
+    if (!noise) continue;
+    const auto mix = noise->channel.unitary_mixture();
+    if (!mix.has_value() || mix->probs.empty()) return false;
+    double sum = 0.0;
+    for (const double p : mix->probs) {
+      if (p < 0.0) return false;
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > kMixtureSumTol) return false;
+  }
+  return true;
+}
+
 sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
                                       std::uint64_t v_bits, std::size_t samples,
                                       std::mt19937_64& rng, const EvalOptions& eval) {

@@ -29,6 +29,12 @@ sim::TrajectoryResult trajectories_tn(const ch::NoisyCircuit& nc, std::uint64_t 
                                       std::uint64_t v_bits, std::size_t samples,
                                       std::mt19937_64& rng, const EvalOptions& eval = {});
 
+/// Non-throwing precheck of trajectories_tn's channel requirements: true iff
+/// every noise channel is a mixture of unitaries with probabilities summing
+/// to 1 within the engine's tolerance. Backend selection uses this to rule
+/// the TN-trajectories backend in or out without paying an exception.
+bool trajectories_tn_eligible(const ch::NoisyCircuit& nc);
+
 /// Multithreaded variant on the shared engine (sim/parallel.hpp): each
 /// worker owns a private copy of the sampled gate list, so no shared state
 /// is mutated; reproducible for a fixed `seed` across thread counts.

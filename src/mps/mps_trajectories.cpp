@@ -1,6 +1,8 @@
 #include "mps/mps_trajectories.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 namespace noisim::mps {
 
@@ -59,6 +61,40 @@ sim::TrajectoryResult trajectories_mps(const ch::NoisyCircuit& nc, std::uint64_t
   return sim::run_trajectories(
       samples, seed,
       [&](std::mt19937_64& rng) { return sample_once(nc, psi_bits, v_bits, rng, opts); }, popts);
+}
+
+sim::TrajectoryCost mps_trajectory_cost(const ch::NoisyCircuit& nc, const MpsOptions& opts) {
+  const int n = nc.num_qubits();
+  // Worst-case bond dimension: exact needs 2^(ceil(n/2)), capped by opts.
+  double chi = std::pow(2.0, std::min((n + 1) / 2, 60));
+  chi = std::min(chi, static_cast<double>(std::max<std::size_t>(opts.max_bond, 1)));
+  const double cost_1q = 4.0 * chi * chi;
+  const double cost_2q_adj = 40.0 * chi * chi * chi;  // contract + SVD split
+  // A pair at distance d is routed adjacent and back: 2 (d - 1) swaps, each
+  // itself an adjacent 2-qubit op.
+  auto cost_2q = [&](int a, int b) {
+    const int d = std::abs(a - b);
+    return cost_2q_adj * (1.0 + 2.0 * static_cast<double>(d > 0 ? d - 1 : 0));
+  };
+
+  sim::TrajectoryCost out;
+  for (const ch::Op& op : nc.ops()) {
+    if (const qc::Gate* g = std::get_if<qc::Gate>(&op)) {
+      out.per_sample_flops +=
+          g->num_qubits() == 1 ? cost_1q : cost_2q(g->qubits[0], g->qubits[1]);
+      continue;
+    }
+    const ch::NoiseOp& noise = std::get<ch::NoiseOp>(op);
+    const double apply =
+        noise.num_qubits() == 1 ? cost_1q : cost_2q(noise.qubit, noise.qubit2);
+    // Born sampling applies every candidate to a scratch copy (apply + norm),
+    // then applies and renormalizes the winner.
+    out.per_sample_flops +=
+        (static_cast<double>(noise.channel.kraus().size()) + 2.0) * apply;
+  }
+  // Two live states (state + Born scratch), each ~ n tensors of 2 chi^2.
+  out.peak_elems = static_cast<std::size_t>(4.0 * static_cast<double>(n) * chi * chi);
+  return out;
 }
 
 sim::TrajectoryResult trajectories_mps(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,

@@ -26,4 +26,12 @@ sim::TrajectoryResult trajectories_mps(const ch::NoisyCircuit& nc, std::uint64_t
                                        std::uint64_t seed, const sim::ParallelOptions& popts,
                                        const MpsOptions& opts = {});
 
+/// Cost model of one MPS trajectory, assuming the worst-case bond dimension
+/// chi = min(2^(n/2), opts.max_bond) everywhere: 1-qubit ops ~ 4 chi^2,
+/// 2-qubit ops ~ 40 chi^3 (contract + SVD), non-adjacent pairs pay the swap
+/// routing to bring the qubits together and back. Noise sites multiply by
+/// (kraus + 2) for Born sampling on scratch copies plus the winner's apply
+/// and renormalization. Peak memory is two full states (state + scratch).
+sim::TrajectoryCost mps_trajectory_cost(const ch::NoisyCircuit& nc, const MpsOptions& opts = {});
+
 }  // namespace noisim::mps

@@ -1,5 +1,7 @@
 #include "sim/density.hpp"
 
+#include <cmath>
+
 namespace noisim::sim {
 
 namespace {
@@ -36,7 +38,8 @@ void kernel2(std::vector<cplx>& v, const la::Matrix& m, std::size_t bit_hi, std:
 }  // namespace
 
 DensityMatrix::DensityMatrix(int n) : n_(n) {
-  la::detail::require(n > 0 && n <= 13, "DensityMatrix: qubit count out of range [1, 13]");
+  la::detail::require(n > 0 && n <= kDensityMaxQubits,
+                      "DensityMatrix: qubit count out of range [1, 13]");
   rho_.assign(std::size_t{1} << (2 * n), cplx{0.0, 0.0});
   rho_[0] = cplx{1.0, 0.0};
 }
@@ -166,6 +169,22 @@ double exact_fidelity_mm(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
   }
   dm.evolve(nc);
   return dm.fidelity_basis(v_bits);
+}
+
+double density_evolution_flops(const ch::NoisyCircuit& nc) {
+  const double dim_sq = std::pow(4.0, std::min(nc.num_qubits(), 31));
+  double flops = 0.0;
+  for (const ch::Op& op : nc.ops()) {
+    if (const qc::Gate* g = std::get_if<qc::Gate>(&op)) {
+      // U rho U^dag: one row-side and one column-side local update.
+      flops += (g->num_qubits() == 1 ? 2.0 : 4.0) * 2.0 * dim_sq;
+      continue;
+    }
+    const ch::NoiseOp& noise = std::get<ch::NoiseOp>(op);
+    const double per_kraus = (noise.num_qubits() == 1 ? 2.0 : 4.0) * 2.0 * dim_sq;
+    flops += static_cast<double>(noise.channel.kraus().size()) * per_kraus;
+  }
+  return flops;
 }
 
 }  // namespace noisim::sim

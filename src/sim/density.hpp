@@ -59,4 +59,12 @@ class DensityMatrix {
 double exact_fidelity_mm(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
                          std::uint64_t v_bits);
 
+/// Widest circuit DensityMatrix accepts (memory bounded at ~1 GiB).
+inline constexpr int kDensityMaxQubits = 13;
+
+/// Plan-time flop model of DensityMatrix::evolve, in modeled complex
+/// multiply-adds: every op touches all 4^n elements twice (row- and
+/// column-side local updates); channels repeat that per Kraus operator.
+double density_evolution_flops(const ch::NoisyCircuit& nc);
+
 }  // namespace noisim::sim

@@ -95,4 +95,34 @@ std::size_t hoeffding_samples(double accuracy, double failure_prob) {
   return static_cast<std::size_t>(std::ceil(r));
 }
 
+double hoeffding_accuracy(std::size_t samples, double failure_prob) {
+  la::detail::require(samples > 0, "hoeffding_accuracy: samples must be positive");
+  la::detail::require(failure_prob > 0.0 && failure_prob < 2.0,
+                      "hoeffding_accuracy: failure_prob must be in (0, 2)");
+  return std::sqrt(std::log(2.0 / failure_prob) / (2.0 * static_cast<double>(samples)));
+}
+
+TrajectoryCost sv_trajectory_cost(const ch::NoisyCircuit& nc) {
+  // 2^n clamped so the double model stays finite and the size_t cast below
+  // cannot overflow; at such widths every memory budget fails anyway.
+  const double dim = std::pow(2.0, std::min(nc.num_qubits(), 62));
+  TrajectoryCost out;
+  bool scratch_copy = false;
+  for (const ch::Op& op : nc.ops()) {
+    if (const qc::Gate* g = std::get_if<qc::Gate>(&op)) {
+      out.per_sample_flops += (g->num_qubits() == 1 ? 2.0 : 4.0) * dim;
+      continue;
+    }
+    const ch::NoiseOp& noise = std::get<ch::NoiseOp>(op);
+    const double apply = (noise.num_qubits() == 1 ? 2.0 : 4.0) * dim;
+    if (noise.num_qubits() == 2) scratch_copy = true;
+    // Born sampling evaluates each candidate (a local expectation or a
+    // scratch apply + norm), then applies and renormalizes the winner.
+    out.per_sample_flops +=
+        (static_cast<double>(noise.channel.kraus().size()) + 2.0) * apply;
+  }
+  out.peak_elems = static_cast<std::size_t>(dim * (scratch_copy ? 2.0 : 1.0));
+  return out;
+}
+
 }  // namespace noisim::sim

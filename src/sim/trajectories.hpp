@@ -44,4 +44,26 @@ double sample_trajectory_sv(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,
 /// `failure_prob <= 0` or `>= 2`, where the bound is vacuous or negative).
 std::size_t hoeffding_samples(double accuracy, double failure_prob);
 
+/// Inverse of hoeffding_samples: the confidence half-width `samples` i.i.d.
+/// [0, 1] draws achieve at (1 - failure_prob) confidence,
+/// sqrt(ln(2/failure) / (2 samples)). Same input guards as
+/// hoeffding_samples; additionally requires samples > 0.
+double hoeffding_accuracy(std::size_t samples, double failure_prob);
+
+/// Plan-time cost model of one trajectory engine, in the commensurate units
+/// the backend-selection front door (core/backend.hpp) compares: flops are
+/// modeled complex multiply-adds, peak_elems transient complex elements.
+/// Shared by the statevector (sv_trajectory_cost) and MPS
+/// (mps::mps_trajectory_cost) models.
+struct TrajectoryCost {
+  double per_sample_flops = 0.0;
+  std::size_t peak_elems = 0;
+};
+
+/// Cost model of sample_trajectory_sv: every gate updates all 2^n
+/// amplitudes; every noise site additionally evaluates each Kraus
+/// candidate's Born probability and renormalizes the winner. Peak memory is
+/// the state plus the 2-qubit Born scratch copy.
+TrajectoryCost sv_trajectory_cost(const ch::NoisyCircuit& nc);
+
 }  // namespace noisim::sim

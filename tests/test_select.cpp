@@ -1,0 +1,298 @@
+// Backend-selection coverage: SimulateOptions validation (each bad field
+// named in the thrown message), known-best picks on seeded circuits (tiny
+// circuits go exact, low-noise wide circuits take the Algorithm-1 level
+// ladder, high-noise loose budgets go to a sampler), budget adherence
+// against the exact density-matrix reference, and the bit-identity contract
+// (simulate()'s value equals direct invocation of the chosen backend with
+// the reported config).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "bench_support/generators.hpp"
+#include "channels/catalog.hpp"
+#include "core/atpg.hpp"
+#include "core/backend.hpp"
+#include "core/plan_cache.hpp"
+#include "core/trajectories_tn.hpp"
+#include "mps/mps_trajectories.hpp"
+#include "sim/density.hpp"
+#include "sim/trajectories.hpp"
+#include "tdd/tdd_sim.hpp"
+
+namespace noisim::core {
+namespace {
+
+// Thrown message must name the offending field.
+void expect_throw_naming(const SimulateOptions& opts, const std::string& field) {
+  const ch::NoisyCircuit nc =
+      bench::insert_noises(bench::qaoa(4, 1, 5), 1, bench::depolarizing_noise(0.01), 7);
+  try {
+    simulate(nc, 0, 0, opts);
+    FAIL() << "expected LinalgError naming " << field;
+  } catch (const LinalgError& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos) << e.what();
+  }
+}
+
+TEST(SimulateOptionsValidation, BadBudgetsThrowNamingTheField) {
+  SimulateOptions opts;
+  opts.error_budget = 0.0;
+  expect_throw_naming(opts, "error_budget");
+  opts.error_budget = -1e-3;
+  expect_throw_naming(opts, "error_budget");
+  opts.error_budget = std::numeric_limits<double>::quiet_NaN();
+  expect_throw_naming(opts, "error_budget");
+
+  opts = SimulateOptions{};
+  opts.memory_budget = 0;
+  expect_throw_naming(opts, "memory_budget");
+
+  opts = SimulateOptions{};
+  opts.deadline = -1.0;
+  expect_throw_naming(opts, "deadline");
+  opts.deadline = std::numeric_limits<double>::infinity();
+  expect_throw_naming(opts, "deadline");
+
+  opts = SimulateOptions{};
+  opts.failure_prob = 0.0;
+  expect_throw_naming(opts, "failure_prob");
+  opts.failure_prob = 2.0;
+  expect_throw_naming(opts, "failure_prob");
+
+  opts = SimulateOptions{};
+  opts.max_terms = 0.0;
+  expect_throw_naming(opts, "max_terms");
+}
+
+TEST(BackendSelection, TinyCircuitPicksAnExactBackend) {
+  const ch::NoisyCircuit nc =
+      bench::insert_noises(bench::hf_vqe(6, 11), 2, bench::depolarizing_noise(0.05), 13);
+  SimulateOptions opts;
+  opts.error_budget = 1e-9;  // only provably-exact configs can bid
+  const SimResult r = simulate(nc, 0, 0, opts);
+  EXPECT_EQ(r.config.achievable_error, 0.0);
+  EXPECT_EQ(r.error_bound, 0.0);
+  EXPECT_EQ(r.config.samples, 0u);
+  EXPECT_NEAR(r.value, sim::exact_fidelity_mm(nc, 0, 0), 1e-9);
+  EXPECT_EQ(r.considered.size(), default_backends().size());
+}
+
+TEST(BackendSelection, LowNoiseWideCircuitTakesTheLevelLadder) {
+  // 16 qubits is past the density-matrix cap; 3 weak depolarizing sites
+  // keep the level-ladder bound far below what any affordable sampler
+  // offers at this budget.
+  const ch::NoisyCircuit nc =
+      bench::insert_noises(bench::qaoa(16, 1, 77), 3, bench::depolarizing_noise(0.01), 601);
+  SimulateOptions loose;
+  loose.error_budget = 2e-2;
+  const SimResult rl = simulate(nc, 0, 0, loose);
+  EXPECT_EQ(rl.backend, BackendKind::TnApprox);
+  EXPECT_LE(rl.error_bound, loose.error_budget);
+
+  SimulateOptions tight = loose;
+  tight.error_budget = 1e-5;
+  const SimResult rt = simulate(nc, 0, 0, tight);
+  EXPECT_EQ(rt.backend, BackendKind::TnApprox);
+  EXPECT_LE(rt.error_bound, tight.error_budget);
+  // Tightening the budget climbs the ladder.
+  EXPECT_GT(rt.config.level, rl.config.level);
+}
+
+TEST(BackendSelection, HighNoiseLooseBudgetGoesToASampler) {
+  const ch::NoisyCircuit nc =
+      bench::insert_noises(bench::hf_vqe(13, 21), 10, bench::depolarizing_noise(0.1), 23);
+  SimulateOptions opts;
+  opts.error_budget = 5e-2;
+  const SimResult r = simulate(nc, 0, 0, opts);
+  EXPECT_GT(r.config.samples, 0u) << "picked " << backend_name(r.backend);
+  EXPECT_LE(r.config.achievable_error, opts.error_budget);
+  EXPECT_EQ(r.traj.samples, r.config.samples);
+}
+
+TEST(BackendSelection, ForcedBackendIsHonoredAndBudgetChecked) {
+  const ch::NoisyCircuit nc =
+      bench::insert_noises(bench::hf_vqe(6, 11), 2, bench::depolarizing_noise(0.05), 13);
+  SimulateOptions opts;
+  opts.error_budget = 5e-2;
+  opts.force_backend = BackendKind::SvTrajectories;
+  const SimResult r = simulate(nc, 0, 0, opts);
+  EXPECT_EQ(r.backend, BackendKind::SvTrajectories);
+  EXPECT_EQ(r.considered.size(), 1u);
+
+  // Forcing an infeasible backend throws, naming it and the violated budget.
+  SimulateOptions squeezed = opts;
+  squeezed.force_backend = BackendKind::Density;
+  squeezed.memory_budget = 1000;  // below the 2 * 4^6 density footprint
+  try {
+    simulate(nc, 0, 0, squeezed);
+    FAIL() << "expected LinalgError for the forced infeasible backend";
+  } catch (const LinalgError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("density"), std::string::npos) << what;
+    EXPECT_NE(what.find("memory_budget"), std::string::npos) << what;
+  }
+
+  // Wider than the density cap: forcing it reports the qubit limit.
+  const ch::NoisyCircuit wide =
+      bench::insert_noises(bench::qaoa(16, 1, 77), 3, bench::depolarizing_noise(0.01), 601);
+  SimulateOptions forced;
+  forced.force_backend = BackendKind::Density;
+  EXPECT_THROW(simulate(wide, 0, 0, forced), LinalgError);
+}
+
+TEST(BackendSelection, NonMixtureNoiseRulesOutTnTrajectories) {
+  ch::NoisyCircuit nc(bench::hf_vqe(8, 3));
+  nc.add_noise(2, ch::amplitude_damping(0.25));
+  SimulateOptions opts;
+  opts.error_budget = 5e-2;
+  const SimResult r = simulate(nc, 0, 0, opts);
+  bool saw_tn_traj = false;
+  for (const BackendChoice& c2 : r.considered) {
+    if (c2.kind != BackendKind::TnTrajectories) continue;
+    saw_tn_traj = true;
+    EXPECT_FALSE(c2.estimate.feasible);
+    EXPECT_NE(c2.estimate.reason.find("mixture"), std::string::npos) << c2.estimate.reason;
+  }
+  EXPECT_TRUE(saw_tn_traj);
+  EXPECT_NE(r.backend, BackendKind::TnTrajectories);
+}
+
+// The bit-identity contract: simulate()'s value must equal invoking the
+// chosen engine directly with the reported configuration.
+double direct_invocation(const ch::NoisyCircuit& nc, std::uint64_t psi, std::uint64_t v,
+                         const SimulateOptions& opts, const SimResult& r) {
+  sim::ParallelOptions popts;
+  popts.threads = opts.threads;
+  switch (r.backend) {
+    case BackendKind::Density:
+      return sim::exact_fidelity_mm(nc, psi, v);
+    case BackendKind::Tdd: {
+      tdd::TddSimOptions topts;
+      topts.timeout_seconds = opts.deadline;
+      return tdd::exact_fidelity_tdd(nc, psi, v, topts);
+    }
+    case BackendKind::TnApprox:
+      return approximate_fidelity(nc, psi, v, tn_approx_options(opts, r.config.level)).value;
+    case BackendKind::TnTrajectories:
+      return trajectories_tn(nc, psi, v, r.config.samples, opts.seed, popts, opts.eval).mean;
+    case BackendKind::SvTrajectories:
+      return sim::trajectories_sv(nc, psi, v, r.config.samples, opts.seed, popts).mean;
+    case BackendKind::MpsTrajectories:
+      return mps::trajectories_mps(nc, psi, v, r.config.samples, opts.seed, popts, opts.mps)
+          .mean;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+TEST(BackendSelection, ResultIsBitIdenticalToDirectInvocation) {
+  struct Case {
+    ch::NoisyCircuit nc;
+    double budget;
+  };
+  const std::vector<Case> cases = {
+      {bench::insert_noises(bench::hf_vqe(6, 11), 2, bench::depolarizing_noise(0.05), 13),
+       1e-9},
+      {bench::insert_noises(bench::qaoa(16, 1, 77), 3, bench::depolarizing_noise(0.01), 601),
+       2e-2},
+      {bench::insert_noises(bench::hf_vqe(13, 21), 10, bench::depolarizing_noise(0.1), 23),
+       5e-2},
+      {bench::insert_noises(bench::supremacy_inst(3, 3, 8, 5), 4,
+                            bench::realistic_noise(7e-3), 19),
+       2e-2},
+  };
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    SimulateOptions opts;
+    opts.error_budget = cases[i].budget;
+    const SimResult r = simulate(cases[i].nc, 0, 0, opts);
+    const double direct = direct_invocation(cases[i].nc, 0, 0, opts, r);
+    EXPECT_EQ(r.value, direct) << "case " << i << " backend " << backend_name(r.backend);
+  }
+}
+
+TEST(BackendSelection, NeverExceedsErrorBudgetAgainstExactReference) {
+  // All circuits small enough for the density reference; fixed seeds make
+  // the sampler picks deterministic.
+  const std::vector<ch::NoisyCircuit> circuits = {
+      bench::insert_noises(bench::hf_vqe(6, 11), 2, bench::depolarizing_noise(0.05), 13),
+      bench::insert_noises(bench::hf_vqe(8, 3), 4, bench::realistic_noise(1e-2), 29),
+      bench::insert_noises(bench::supremacy_inst(3, 3, 8, 5), 4, bench::depolarizing_noise(0.02),
+                           19),
+  };
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    SimulateOptions opts;
+    opts.error_budget = 2e-2;
+    const SimResult r = simulate(circuits[i], 0, 0, opts);
+    const double ref = sim::exact_fidelity_mm(circuits[i], 0, 0);
+    EXPECT_LE(r.error_bound, opts.error_budget) << "circuit " << i;
+    // Deterministic picks obey the bound outright; sampler picks hold at
+    // the Hoeffding confidence, checked here for the fixed seeds above.
+    EXPECT_LE(std::abs(r.value - ref), opts.error_budget + 1e-12)
+        << "circuit " << i << " backend " << backend_name(r.backend);
+  }
+}
+
+TEST(BackendSelection, EstimationPrewarmsThePlanCacheForTheRun) {
+  const ch::NoisyCircuit nc =
+      bench::insert_noises(bench::qaoa(16, 1, 77), 3, bench::depolarizing_noise(0.01), 601);
+  PlanCache cache;
+  SimulateOptions opts;
+  opts.error_budget = 2e-2;
+  opts.plan_cache = &cache;
+  const SimResult r = simulate(nc, 0, 0, opts);
+  EXPECT_EQ(r.backend, BackendKind::TnApprox);
+  // The run fetched the top-layer template estimation compiled (the bottom
+  // conjugate layer and batched plans are still compiled at run time), so
+  // it plans strictly less than a cold direct invocation.
+  EXPECT_GT(cache.hits(), 0u);
+  SimulateOptions uncached = opts;
+  uncached.plan_cache = nullptr;
+  const ApproxResult cold =
+      approximate_fidelity(nc, 0, 0, tn_approx_options(uncached, r.config.level));
+  EXPECT_LT(r.stats.plans_compiled, cold.contract_stats.plans_compiled);
+  EXPECT_EQ(r.value, cold.value);
+}
+
+TEST(BackendSelection, ImpossibleBudgetsThrowListingEveryBackend) {
+  const ch::NoisyCircuit nc =
+      bench::insert_noises(bench::hf_vqe(6, 11), 2, bench::depolarizing_noise(0.05), 13);
+  SimulateOptions opts;
+  opts.memory_budget = 1;  // nothing fits in one complex element
+  try {
+    simulate(nc, 0, 0, opts);
+    FAIL() << "expected LinalgError";
+  } catch (const LinalgError& e) {
+    const std::string what = e.what();
+    for (const Backend* b : default_backends())
+      EXPECT_NE(what.find(backend_name(b->kind())), std::string::npos) << what;
+  }
+}
+
+TEST(Atpg, SimulateOverloadsMatchTheApproxPathSemantics) {
+  qc::Circuit c = bench::hf_vqe(8, 5);
+  ch::NoisyCircuit nc(c.num_qubits());
+  int placed = 0;
+  for (const qc::Gate& g : c.gates()) {
+    nc.add_gate(g);
+    if (++placed == 20) nc.add_noise(1, ch::amplitude_damping(0.25));
+  }
+  SimulateOptions opts;
+  opts.error_budget = 2e-2;
+  const double p = fault_detection_probability(nc, 0b10110010, opts);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+
+  const std::vector<std::uint64_t> candidates = {0b00000000, 0b10110010, 0b11111111,
+                                                 0b01010101};
+  const TestPatternResult best = best_test_pattern(nc, candidates, opts);
+  EXPECT_EQ(best.all.size(), candidates.size());
+  double max_p = 0.0;
+  for (const double x : best.all) max_p = std::max(max_p, x);
+  EXPECT_EQ(best.detection_probability, max_p);
+  EXPECT_THROW(best_test_pattern(nc, {}, opts), LinalgError);
+}
+
+}  // namespace
+}  // namespace noisim::core
