@@ -16,10 +16,18 @@
 // paths pay once and that vanishes as the term count grows with the
 // level. Total wall-clock seconds are recorded alongside.
 //
+// A kernel-tier section then re-runs the level-1 batched sweep with the
+// scalar tier forced vs the runtime-dispatched tier (tensor/kernels.hpp),
+// checks the two agree bitwise, and gates the dispatched tier's eval
+// throughput: >= 1.5x over scalar whenever the host detects AVX2 or
+// better (on scalar-only hosts the tiers are the same table, so the gate
+// passes trivially).
+//
 // Exit status is non-zero when any path disagrees bitwise, when the
 // level-1 batched path fails the >= 2x per-term eval-throughput gate over
-// the per-term replay path, or when --baseline <json> shows a > 20%
-// batched per-term throughput regression against the committed baseline.
+// the per-term replay path, when the dispatched kernel tier misses its
+// speedup gate, or when --baseline <json> shows a > 20% batched per-term
+// throughput regression against the committed baseline.
 
 #include <chrono>
 #include <cstdlib>
@@ -29,6 +37,7 @@
 #include "bench_common.hpp"
 #include "core/approx.hpp"
 #include "sim/parallel.hpp"
+#include "tensor/kernels.hpp"
 
 namespace {
 
@@ -183,6 +192,45 @@ int main(int argc, char** argv) {
     runs.push_back(std::move(run));
   }
 
+  // --- kernel-tier gate: forced scalar vs runtime-dispatched -------------
+  // Same interleaved best-of-rounds discipline as the path comparison, on
+  // the level-1 batched configuration (the production path). Results must
+  // be bit-identical -- the tiers' entire contract -- and on AVX2+ hosts
+  // the dispatched tier must deliver >= 1.5x eval throughput.
+  const tsr::KernelTier detected = tsr::detected_kernel_tier();
+  const std::size_t tier_level = 1;
+  core::ApproxResult scalar_result, dispatched_result;
+  bench::RunOutcome scalar_run, dispatched_run;
+  {
+    const core::ApproxOptions tier_opts = make_opts(tier_level, true, 1, batch_terms);
+    auto run_tier = [&](tsr::KernelTier tier, core::ApproxResult& result, bool first) {
+      const tsr::KernelTier prev = tsr::set_kernel_tier(tier);
+      bench::RunOutcome out = bench::run_guarded_stats([&](tn::ContractStats& stats) {
+        core::ApproxResult attempt = core::approximate_fidelity(nc, 0, 0, tier_opts);
+        if (first || attempt.eval_seconds < result.eval_seconds) result = std::move(attempt);
+        stats = result.contract_stats;
+        return result.value;
+      });
+      tsr::set_kernel_tier(prev);
+      return out;
+    };
+    for (int round = 0; round < 4; ++round) {
+      scalar_run = run_tier(tsr::KernelTier::Scalar, scalar_result, round == 0);
+      dispatched_run = run_tier(detected, dispatched_result, round == 0);
+      if (!scalar_run.ok() || !dispatched_run.ok()) break;
+    }
+  }
+  const bool tier_identical = !scalar_run.ok() || !dispatched_run.ok() ||
+                              same_bits(scalar_result, dispatched_result);
+  all_identical = all_identical && tier_identical;
+  const double tier_speedup = dispatched_result.eval_seconds > 0.0
+                                  ? scalar_result.eval_seconds / dispatched_result.eval_seconds
+                                  : 0.0;
+  // MO/TO boxes skip the gate (they already failed the workload, and the
+  // table rows say so); scalar-only hosts compare a table against itself.
+  const bool tier_gate_ok = !scalar_run.ok() || !dispatched_run.ok() ||
+                            detected == tsr::KernelTier::Scalar || tier_speedup >= 1.5;
+
   bench::Table table({"level", "terms", "replan(s)", "reuse eval(s)", "batched eval(s)",
                       "eval reuse/replan", "eval batched/reuse", "bit-identical"});
   for (const LevelRun& r : runs) {
@@ -200,6 +248,19 @@ int main(int argc, char** argv) {
                    r.bit_identical && r.threaded_identical ? "yes" : "NO"});
   }
   table.print(std::cout);
+
+  bench::Table tier_table(
+      {"kernel tier", "eval(s)", "speedup vs scalar", "bit-identical"});
+  tier_table.add_row({"scalar (forced)",
+                      scalar_run.ok() ? bench::fixed(scalar_result.eval_seconds, 3)
+                                      : bench::format_time(scalar_run),
+                      "1.00", "yes"});
+  tier_table.add_row({std::string(tsr::kernel_tier_name(detected)) + " (dispatched)",
+                      dispatched_run.ok() ? bench::fixed(dispatched_result.eval_seconds, 3)
+                                          : bench::format_time(dispatched_run),
+                      bench::fixed(tier_speedup, 2), tier_identical ? "yes" : "NO"});
+  std::cout << "\n";
+  tier_table.print(std::cout);
   std::cout << "\ncpu: " << bench::cpu_model() << " (" << hw << " hardware threads)\n"
             << "batch_terms: " << batch_terms << "\n"
             << "Expected shape: batched replay pays dispatch/permutations once per step and\n"
@@ -282,12 +343,24 @@ int main(int argc, char** argv) {
         << ",\n     \"batched_stats\": " << bench::stats_json(r.batched.contract_stats) << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n"
+      << "  \"kernel_tiers\": {\"detected\": \"" << tsr::kernel_tier_name(detected)
+      << "\", \"level\": " << tier_level
+      << ", \"scalar_eval_seconds\": " << scalar_result.eval_seconds
+      << ", \"dispatched_eval_seconds\": " << dispatched_result.eval_seconds
+      << ",\n    \"speedup_dispatched_vs_scalar\": " << tier_speedup
+      << ", \"bit_identical\": " << (tier_identical ? "true" : "false")
+      << ",\n    \"scalar_stats\": " << bench::stats_json(scalar_run.contract_stats)
+      << ",\n    \"dispatched_stats\": " << bench::stats_json(dispatched_run.contract_stats)
+      << "}\n";
+  out << "}\n";
   std::cout << "wrote " << out_path << "\n";
 
   if (!all_identical) std::cout << "FAIL: batched / per-term results not bit-identical\n";
   if (!speedup_gate_ok)
     std::cout << "FAIL: batched replay below the 2x per-term eval-throughput gate at level >= 1\n";
+  if (!tier_gate_ok)
+    std::cout << "FAIL: dispatched kernel tier below the 1.5x eval-throughput gate vs scalar\n";
   if (!baseline_ok) std::cout << "FAIL: batched per-term throughput regressed > 20%\n";
-  return all_identical && speedup_gate_ok && baseline_ok ? 0 : 1;
+  return all_identical && speedup_gate_ok && tier_gate_ok && baseline_ok ? 0 : 1;
 }

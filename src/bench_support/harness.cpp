@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "linalg/complex.hpp"
+#include "tensor/kernels.hpp"
 
 namespace noisim::bench {
 
@@ -43,6 +44,15 @@ std::string stats_json(const tn::ContractStats& stats) {
   out += ", \"bytes_moved\": " + std::to_string(stats.bytes_moved);
   out += ", \"plan_cache_hits\": " + std::to_string(stats.plan_cache_hits);
   out += ", \"plan_cache_misses\": " + std::to_string(stats.plan_cache_misses);
+  out += ", \"kernels_scalar\": " + std::to_string(stats.kernels_scalar);
+  out += ", \"kernels_avx2\": " + std::to_string(stats.kernels_avx2);
+  out += ", \"kernels_avx512\": " + std::to_string(stats.kernels_avx512);
+  // 8 real flops per complex multiply-add (4 mul + 4 add/sub).
+  const double gflops = stats.elapsed_seconds > 0.0
+                            ? 8.0 * static_cast<double>(stats.flops) /
+                                  stats.elapsed_seconds / 1e9
+                            : 0.0;
+  out += ", \"effective_gflops\": " + sci(gflops);
   out += "}";
   return out;
 }
@@ -67,7 +77,9 @@ std::string cpu_model() {
 
 std::string machine_json() {
   return "{\"cpu_model\": \"" + cpu_model() +
-         "\", \"hardware_threads\": " + std::to_string(std::thread::hardware_concurrency()) + "}";
+         "\", \"hardware_threads\": " + std::to_string(std::thread::hardware_concurrency()) +
+         ", \"isa\": \"" + tsr::kernel_tier_name(tsr::detected_kernel_tier()) +
+         "\", \"kernel_tier\": \"" + tsr::kernel_tier_name(tsr::active_kernel_tier()) + "\"}";
 }
 
 namespace {

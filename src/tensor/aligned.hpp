@@ -1,0 +1,50 @@
+#pragma once
+// 64-byte-aligned storage for kernel operands.
+//
+// complex<double> buffers allocated through plain operator new are only
+// 16-byte aligned (__STDCPP_DEFAULT_NEW_ALIGNMENT__), which is fine for
+// scalar code but pessimizes wide vector loads: a 512-bit access spanning
+// a cache line splits into two line fills. The plan executor's arenas and
+// permutation scratch -- where every kernel operand that is not a leaf
+// tensor lives -- allocate through these helpers instead, so every arena
+// segment starts on a 64-byte (cache-line / zmm) boundary and aligned
+// vector loads are safe at any tier.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace noisim::tsr {
+
+/// Cache-line / widest-vector-register alignment every kernel tier may
+/// assume for arena and scratch buffers.
+inline constexpr std::size_t kKernelAlignment = 64;
+
+/// Minimal std::allocator replacement forcing kKernelAlignment. Stateless,
+/// so all instances compare equal and vectors move freely.
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{kKernelAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kKernelAlignment});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+/// std::vector whose storage is kKernelAlignment-aligned.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace noisim::tsr

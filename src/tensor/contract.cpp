@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tensor/kernels.hpp"
+
 namespace noisim::tsr {
 
 namespace {
@@ -263,7 +265,7 @@ Tensor contract(const Tensor& a, std::span<const std::size_t> axes_a, const Tens
   }
 
   Tensor out(p.out_shape);
-  detail::matmul_accumulate(pa, pb, out.data(), p.m, p.k, p.n);
+  active_kernels().matmul(pa, pb, out.data(), p.m, p.k, p.n);
   return out;
 }
 

@@ -1,0 +1,96 @@
+#pragma once
+// Runtime-dispatched kernel tiers: one KernelTable per instruction-set
+// tier (scalar, AVX2, AVX-512), all implementing the four matmul kernel
+// families of tensor/contract.hpp with BIT-IDENTICAL results.
+//
+// The bit-identity contract: every tier accumulates ascending-k per output
+// element with the scalar tier's zero-skip, and performs the complex
+// multiply-accumulate as the same sequence of IEEE double operations
+// (mul, mul, sub/add, add -- never contracted into FMA), only on wider
+// registers. Lane-wise the arithmetic is the scalar arithmetic, so the
+// tier choice NEVER changes bits -- the determinism contract of the plan
+// executor (replay == recontract, batched == per-term, any thread count)
+// survives dispatch, and a GPU or remote executor can later slot in behind
+// the same reference path by satisfying the same table interface.
+//
+// Tier selection happens once at startup from cpuid, overridable with
+// NOISIM_KERNELS={auto,scalar,avx2,avx512}: an unknown value throws
+// LinalgError naming the variable; requesting a tier the host (or build)
+// lacks falls back to the best supported tier with a one-time warning.
+
+#include <cstddef>
+#include <string_view>
+
+#include "tensor/contract.hpp"
+
+namespace noisim::tsr {
+
+/// Instruction-set tiers, ordered: a host supporting a tier supports every
+/// lower one.
+enum class KernelTier { Scalar = 0, Avx2 = 1, Avx512 = 2 };
+
+inline constexpr std::size_t kNumKernelTiers = 3;
+
+namespace detail {
+
+using SelectFn = MatmulFn (*)(std::size_t m, std::size_t k, std::size_t n);
+using GatheredFn = void (*)(const cplx* a, const std::uint32_t* a_idx, const cplx* b,
+                            const std::uint32_t* b_idx, cplx* out, std::size_t m, std::size_t k,
+                            std::size_t n);
+using BatchedFn = void (*)(const cplx* a, const cplx* b, cplx* out, std::size_t m, std::size_t k,
+                           std::size_t n, std::size_t batch, std::size_t a_stride,
+                           std::size_t b_stride, std::size_t out_stride);
+
+}  // namespace detail
+
+/// One tier's implementation of the four kernel families. The plan
+/// executor calls kernels exclusively through a table (the executor seam):
+/// replacing the table replaces the device the plan replays on, which is
+/// the shape batched-contraction offload interfaces (cuTensorNet-style)
+/// expose. Any table slotted in must honor the bit-identity contract
+/// above to keep replays interchangeable with the CPU reference path.
+struct KernelTable {
+  detail::MatmulFn matmul;      // generic blocked matmul_accumulate
+  detail::SelectFn select;      // fixed-shape microkernel dispatch
+  detail::GatheredFn gathered;  // permutation-fused gather-table variant
+  detail::BatchedFn batched;    // strided-batched (stride 0 = broadcast)
+  KernelTier tier;
+  const char* name;
+};
+
+/// Best tier the running CPU supports (cpuid), independent of any
+/// NOISIM_KERNELS override.
+KernelTier detected_kernel_tier();
+
+/// Tier table, or nullptr when the tier is unsupported on this host or was
+/// not compiled into this build. Scalar is always available.
+const KernelTable* kernel_table(KernelTier tier);
+
+/// Highest supported tier <= `requested` (what an unsupported request
+/// falls back to).
+KernelTier resolve_kernel_tier(KernelTier requested);
+
+/// Parse a NOISIM_KERNELS value ("auto" resolves to the detected tier).
+/// Throws LinalgError naming NOISIM_KERNELS on anything else.
+KernelTier parse_kernel_tier(std::string_view value);
+
+/// The dispatched table every execution path uses by default: resolved
+/// once from cpuid + NOISIM_KERNELS on first use, then constant unless
+/// set_kernel_tier intervenes. Thread-safe.
+const KernelTable& active_kernels();
+
+/// Tier of active_kernels().
+KernelTier active_kernel_tier();
+
+/// Force the active tier (tests, benchmarks). An unsupported request
+/// resolves to the best supported tier with a one-time warning, mirroring
+/// the NOISIM_KERNELS fallback. Returns the PREVIOUS active tier so
+/// callers can restore it. Not intended to race concurrent executions:
+/// switch tiers only between runs (any interleaving is still safe and
+/// still bit-exact -- all tables compute identical bits -- but a run's
+/// reported dispatch counters would straddle tiers).
+KernelTier set_kernel_tier(KernelTier tier);
+
+const char* kernel_tier_name(KernelTier tier);
+
+}  // namespace noisim::tsr

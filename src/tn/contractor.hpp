@@ -86,6 +86,16 @@ struct ContractStats {
   /// bench ladder verifies the recompilation actually disappeared.
   std::size_t plan_cache_hits = 0;
   std::size_t plan_cache_misses = 0;
+  /// Kernel invocations by dispatched instruction-set tier
+  /// (tensor/kernels.hpp). kernels_scalar + kernels_avx2 + kernels_avx512
+  /// == num_pairwise for plan-executor work; which bucket fills records
+  /// what cpuid + NOISIM_KERNELS actually selected -- every tier computes
+  /// identical bits, so these are the only observable difference. Paired
+  /// with `flops` and `elapsed_seconds` they give effective GFLOP/s
+  /// (bench::stats_json reports it directly).
+  std::size_t kernels_scalar = 0;
+  std::size_t kernels_avx2 = 0;
+  std::size_t kernels_avx512 = 0;
 
   /// Fold another record into this one (counters add, peaks max) -- used
   /// to aggregate per-worker stats deterministically.
@@ -100,6 +110,9 @@ struct ContractStats {
     bytes_moved += o.bytes_moved;
     plan_cache_hits += o.plan_cache_hits;
     plan_cache_misses += o.plan_cache_misses;
+    kernels_scalar += o.kernels_scalar;
+    kernels_avx2 += o.kernels_avx2;
+    kernels_avx512 += o.kernels_avx512;
   }
 };
 

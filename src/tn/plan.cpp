@@ -509,6 +509,25 @@ ContractionPlan ContractionPlan::compile(const Network& net, const ContractOptio
   la::detail::fail("ContractionPlan: unknown strategy");
 }
 
+namespace {
+
+/// Attribute `count` kernel invocations to the tier that executed them.
+void tally_kernels(ContractStats& stats, tsr::KernelTier tier, std::size_t count) {
+  switch (tier) {
+    case tsr::KernelTier::Scalar:
+      stats.kernels_scalar += count;
+      break;
+    case tsr::KernelTier::Avx2:
+      stats.kernels_avx2 += count;
+      break;
+    case tsr::KernelTier::Avx512:
+      stats.kernels_avx512 += count;
+      break;
+  }
+}
+
+}  // namespace
+
 const cplx* ContractionPlan::slot_data(std::size_t slot,
                                        std::span<const tsr::Tensor* const> inputs,
                                        const PlanWorkspace& ws) const {
@@ -536,6 +555,11 @@ tsr::Tensor ContractionPlan::execute(std::span<const tsr::Tensor* const> inputs,
   ws.scratch_b.resize(scratch_b_elems_);
   ws.idx.resize(max_rank_);
 
+  // Executor seam: an injected table (ws.kernels) wins, otherwise the
+  // process-wide dispatched tier. Resolved per replay, never baked into the
+  // plan, so cached plans honor tier switches.
+  const tsr::KernelTable& kt = ws.kernels ? *ws.kernels : tsr::active_kernels();
+
   for (const PlanStep& step : steps_) {
     if (has_deadline && Clock::now() > deadline)
       throw TimeoutError("tensor network contraction exceeded deadline");
@@ -553,7 +577,7 @@ tsr::Tensor ContractionPlan::execute(std::span<const tsr::Tensor* const> inputs,
     }
     cplx* out = ws.arena.data() + step.out_offset;
     std::fill(out, out + step.out_elems, cplx{0.0, 0.0});
-    tsr::detail::matmul_accumulate(pa, pb, out, step.m, step.k, step.n);
+    kt.matmul(pa, pb, out, step.m, step.k, step.n);
   }
 
   // Materialize the result with axes in ascending open-edge order.
@@ -569,6 +593,7 @@ tsr::Tensor ContractionPlan::execute(std::span<const tsr::Tensor* const> inputs,
   const std::size_t prior = executions_->fetch_add(1, std::memory_order_relaxed);
   if (stats) {
     stats->num_pairwise += steps_.size();
+    tally_kernels(*stats, kt.tier, steps_.size());
     stats->peak_elems = std::max(stats->peak_elems, peak_elems_);
     ++stats->plan_executions;
     if (prior > 0) ++stats->plan_reuse_hits;
@@ -719,7 +744,6 @@ BatchedPlan ContractionPlan::compile_batched(std::span<const std::size_t> varyin
     bs.k = step.k;
     bs.n = step.n;
     bs.out_elems = step.out_elems;
-    bs.kernel = tsr::detail::select_matmul(step.m, step.k, step.n);
     if (!step.identity_a && tsr::permute_gather_applies(step.a_elems))
       bs.a_gather = tsr::permute_gather(step.a_perm_shape, step.a_src_stride);
     if (!step.identity_b && tsr::permute_gather_applies(step.b_elems))
@@ -825,6 +849,13 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
   ws.scratch_a.resize(scratch_a_elems_);
   ws.scratch_b.resize(scratch_b_elems_);
   ws.idx.resize(max_rank_);
+  // Executor seam: resolve the kernel table and the per-step shape-
+  // specialized kernels once per traversal (not at compile_batched time --
+  // PlanCache entries outlive NOISIM_KERNELS / set_kernel_tier changes).
+  const tsr::KernelTable& kt = ws.kernels ? *ws.kernels : tsr::active_kernels();
+  ws.step_kernels.resize(steps_.size());
+  for (std::size_t s = 0; s < steps_.size(); ++s)
+    ws.step_kernels[s] = kt.select(steps_[s].m, steps_[s].k, steps_[s].n);
   ws.vids.resize(steps_.size() * k);
   ws.key_a.resize(k);
   ws.key_b.resize(k);
@@ -938,9 +969,8 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
     if (rows_linear && st.identity_a && st.identity_b && a_strided && b_strided) {
       const std::size_t a_stride = st.varying_a ? steps_[st.lhs - num_in].out_elems : 0;
       const std::size_t b_stride = st.varying_b ? steps_[st.rhs - num_in].out_elems : 0;
-      tsr::detail::matmul_accumulate_batched(slot_row_ptr(st.lhs, 0), slot_row_ptr(st.rhs, 0),
-                                             out0, st.m, st.k, st.n, rows, a_stride, b_stride,
-                                             st.out_elems);
+      kt.batched(slot_row_ptr(st.lhs, 0), slot_row_ptr(st.rhs, 0), out0, st.m, st.k, st.n,
+                 rows, a_stride, b_stride, st.out_elems);
       kernels += rows;
       flops += rows * st.m * st.k * st.n;
       bytes += rows * kernel_bytes(st);
@@ -950,7 +980,7 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
     // General path: one kernel call per distinct row, operands resolved
     // through the row's representative term, gather-table permutation into
     // slice-sized scratch (re-gathered only when the operand's variant
-    // changes), and the kernel selected once at compile time.
+    // changes), and the kernel selected once per traversal.
     std::ptrdiff_t last_a = -1, last_b = -1;
     for (std::size_t u = 0; u < rows; ++u) {
       const std::size_t t = st.varying_out ? ws.urep[u] : 0;
@@ -982,7 +1012,7 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
         }
         pb = ws.scratch_b.data();
       }
-      st.kernel(pa, pb, out0 + u * st.out_elems, st.m, st.k, st.n);
+      ws.step_kernels[s](pa, pb, out0 + u * st.out_elems, st.m, st.k, st.n);
       ++kernels;
       flops += st.m * st.k * st.n;
       bytes += kernel_bytes(st);
@@ -1107,10 +1137,9 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
           }
         }
         if (a_idx || b_idx)
-          tsr::detail::matmul_accumulate_gathered(pa, a_idx, pb, b_idx, out0, st.m, st.k,
-                                                  st.n);
+          kt.gathered(pa, a_idx, pb, b_idx, out0, st.m, st.k, st.n);
         else
-          st.kernel(pa, pb, out0, st.m, st.k, st.n);
+          ws.step_kernels[s](pa, pb, out0, st.m, st.k, st.n);
         ws.seq_last[s] = rep;
         ++kernels;
         flops += st.m * st.k * st.n;
@@ -1131,6 +1160,7 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
   const std::size_t prior = executions_->fetch_add(k, std::memory_order_relaxed);
   if (stats) {
     stats->num_pairwise += kernels;
+    tally_kernels(*stats, kt.tier, kernels);
     stats->peak_elems = std::max(stats->peak_elems, peak);
     stats->plan_executions += k;
     stats->plan_reuse_hits += prior > 0 ? k : k - 1;

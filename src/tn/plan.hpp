@@ -24,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "tensor/aligned.hpp"
 #include "tensor/contract.hpp"
+#include "tensor/kernels.hpp"
 #include "tn/contractor.hpp"
 
 namespace noisim::tn {
@@ -51,28 +53,45 @@ struct PlanStep {
 /// its accumulation), so value-initializing the whole allocation -- sized
 /// for the worst-case batch, usually far beyond the rows a variant-compacted
 /// replay touches -- would fault and zero pages that are never read.
+/// Storage is tsr::kKernelAlignment (64-byte) aligned like every other
+/// executor buffer, so aligned vector loads are safe in any arena segment.
 class ArenaBuffer {
  public:
   void ensure(std::size_t elems) {
     if (elems <= cap_) return;
-    raw_.reset(new double[2 * elems]);  // default-init: no zeroing
+    raw_.reset(static_cast<double*>(
+        ::operator new(2 * elems * sizeof(double), std::align_val_t{tsr::kKernelAlignment})));
     cap_ = elems;
   }
   cplx* data() { return reinterpret_cast<cplx*>(raw_.get()); }
   const cplx* data() const { return reinterpret_cast<const cplx*>(raw_.get()); }
 
  private:
-  std::unique_ptr<double[]> raw_;
+  struct AlignedDelete {
+    void operator()(double* p) const noexcept {
+      ::operator delete(p, std::align_val_t{tsr::kKernelAlignment});
+    }
+  };
+  std::unique_ptr<double[], AlignedDelete> raw_;
   std::size_t cap_ = 0;
 };
 
 /// Per-thread scratch a plan executes in: the intermediate arena plus the
 /// permutation scratch buffers. Buffers only grow, so replaying a plan
-/// through the same workspace allocates nothing in steady state.
+/// through the same workspace allocates nothing in steady state. All
+/// kernel-visible buffers are 64-byte aligned (tsr::aligned_vector /
+/// ArenaBuffer), so every tier's vector loads see aligned arena segments.
 struct PlanWorkspace {
-  std::vector<cplx> arena;
+  /// Executor seam: when set, plans replay their kernels through THIS
+  /// table instead of the runtime-dispatched tsr::active_kernels() -- the
+  /// indirection a GPU/remote executor slots in behind (any table must
+  /// honor the bit-identity contract of tensor/kernels.hpp). Null selects
+  /// the dispatched CPU tier.
+  const tsr::KernelTable* kernels = nullptr;
+  tsr::aligned_vector<cplx> arena;
   ArenaBuffer batch_arena;  // batched replays only
-  std::vector<cplx> scratch_a, scratch_b;
+  tsr::aligned_vector<cplx> scratch_a, scratch_b;
+  std::vector<tsr::detail::MatmulFn> step_kernels;  // per-traversal dispatch
   std::vector<std::size_t> idx;                // odometer scratch
   std::vector<const tsr::Tensor*> input_ptrs;  // for execute(const Network&)
   // Batched-replay scratch: variant keys of the varying inputs (in_vids),
@@ -85,9 +104,12 @@ struct PlanWorkspace {
 };
 
 /// One pairwise step of a batched replay: the parent PlanStep plus the
-/// batch-dependent layout (batched arena offset, varying flags), the
-/// materialized permutation gather tables, and the kernel selected once for
-/// the step's (m, k, n).
+/// batch-dependent layout (batched arena offset, varying flags) and the
+/// materialized permutation gather tables. The step's (m, k, n) kernel is
+/// resolved from the ACTIVE kernel table once per traversal (not baked in
+/// at compile time), so plans cached across tier switches -- PlanCache
+/// entries outlive NOISIM_KERNELS overrides in tests and benchmarks --
+/// always execute on the tier the caller selected.
 struct BatchedStep {
   std::size_t lhs = 0, rhs = 0;
   bool varying_a = false, varying_b = false, varying_out = false;
@@ -110,7 +132,6 @@ struct BatchedStep {
   /// nothing) replay per term through the small reused per-term arena
   /// segment instead of materializing a rows-wide batch buffer.
   bool sequential = false;
-  tsr::detail::MatmulFn kernel = nullptr;
 };
 
 /// Batched replay of a ContractionPlan: K terms that share the plan's

@@ -1,0 +1,375 @@
+// Kernel-tier suite (ctest -L kernels): every SIMD tier must be BITWISE
+// identical to the scalar reference -- per kernel family across a shape
+// grid exercising odd/non-dividing sizes, zero-skip rows, gathered and
+// broadcast operands, and end to end through approximate_fidelity /
+// xeb_sweep with each tier forced at multiple thread counts. Also covers
+// the dispatch machinery (cpuid detection, NOISIM_KERNELS parsing and
+// fallback, per-tier stats counters) and the 64-byte-alignment guarantee
+// of the executor's arenas.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_support/generators.hpp"
+#include "core/approx.hpp"
+#include "tensor/aligned.hpp"
+#include "tensor/contract.hpp"
+#include "tensor/kernels.hpp"
+#include "tn/plan.hpp"
+
+namespace noisim::tsr {
+namespace {
+
+/// Every tier this host+build can actually run (scalar always first).
+std::vector<KernelTier> available_tiers() {
+  std::vector<KernelTier> tiers;
+  for (std::size_t t = 0; t < kNumKernelTiers; ++t)
+    if (kernel_table(static_cast<KernelTier>(t))) tiers.push_back(static_cast<KernelTier>(t));
+  return tiers;
+}
+
+/// Restore the active tier on scope exit so tests compose in any order.
+struct TierGuard {
+  KernelTier prev;
+  explicit TierGuard(KernelTier tier) : prev(set_kernel_tier(tier)) {}
+  ~TierGuard() { set_kernel_tier(prev); }
+};
+
+/// Random interleaved complex buffer; when `with_zeros`, ~25% of elements
+/// are exact (+0, +0) so the kernels' zero-skip branch is exercised --
+/// including on negative-zero-adjacent accumulations.
+aligned_vector<cplx> random_buf(std::size_t elems, std::mt19937_64& rng, bool with_zeros) {
+  std::normal_distribution<double> gauss;
+  aligned_vector<cplx> buf(elems);
+  for (auto& v : buf) {
+    if (with_zeros && rng() % 4 == 0)
+      v = cplx{0.0, 0.0};
+    else
+      v = cplx{gauss(rng), gauss(rng)};
+  }
+  return buf;
+}
+
+void expect_same_bits(const aligned_vector<cplx>& ref, const aligned_vector<cplx>& got,
+                      const char* what) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].real(), got[i].real()) << what << " elem " << i;
+    EXPECT_EQ(ref[i].imag(), got[i].imag()) << what << " elem " << i;
+  }
+}
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+/// Odd/non-dividing sizes around every vector width and the 64-wide cache
+/// blocks, plus the exact shapes the select ladder special-cases
+/// (k in {2,4,8,16} x n in {2,4}, and the m*n <= 64 small-k path).
+const Shape kShapes[] = {
+    {1, 1, 1},  {1, 2, 2},   {3, 2, 4},   {2, 4, 1},  {5, 2, 4},  {7, 4, 2},  {9, 16, 4},
+    {4, 8, 2},  {6, 16, 2},  {8, 2, 8},   {5, 7, 3},  {3, 5, 5},  {13, 3, 7}, {1, 6, 31},
+    {2, 9, 33}, {3, 130, 5}, {2, 3, 130}, {65, 4, 2}, {33, 2, 3}, {4, 66, 66},
+};
+
+TEST(Kernels, ScalarTableAlwaysAvailableAndDetectionOrdered) {
+  ASSERT_NE(kernel_table(KernelTier::Scalar), nullptr);
+  const std::vector<KernelTier> tiers = available_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), KernelTier::Scalar);
+  // The detected tier must itself be runnable, and every tier at or below
+  // a runnable tier's resolve must be runnable.
+  EXPECT_NE(kernel_table(detected_kernel_tier()), nullptr);
+  for (std::size_t t = 0; t < kNumKernelTiers; ++t) {
+    const KernelTier resolved = resolve_kernel_tier(static_cast<KernelTier>(t));
+    EXPECT_LE(static_cast<int>(resolved), static_cast<int>(t));
+    EXPECT_NE(kernel_table(resolved), nullptr);
+  }
+}
+
+TEST(Kernels, ParseValidatesAndNamesTheEnvVar) {
+  EXPECT_EQ(parse_kernel_tier("scalar"), KernelTier::Scalar);
+  EXPECT_EQ(parse_kernel_tier("avx2"), KernelTier::Avx2);
+  EXPECT_EQ(parse_kernel_tier("avx512"), KernelTier::Avx512);
+  EXPECT_EQ(parse_kernel_tier("auto"), detected_kernel_tier());
+  try {
+    parse_kernel_tier("sse9");
+    FAIL() << "expected LinalgError";
+  } catch (const LinalgError& e) {
+    EXPECT_NE(std::string(e.what()).find("NOISIM_KERNELS"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sse9"), std::string::npos);
+  }
+}
+
+TEST(Kernels, SetTierReturnsPreviousAndFallsBackWhenUnsupported) {
+  const KernelTier original = active_kernel_tier();
+  const KernelTier prev = set_kernel_tier(KernelTier::Scalar);
+  EXPECT_EQ(prev, original);
+  EXPECT_EQ(active_kernel_tier(), KernelTier::Scalar);
+  // Requesting the top tier lands on the best supported tier, never an
+  // unrunnable one (on AVX-512 hosts that IS avx512; elsewhere it falls
+  // back with a one-time stderr warning).
+  set_kernel_tier(KernelTier::Avx512);
+  EXPECT_EQ(active_kernel_tier(), resolve_kernel_tier(KernelTier::Avx512));
+  set_kernel_tier(original);
+  EXPECT_EQ(active_kernel_tier(), original);
+}
+
+TEST(Kernels, MatmulBitwiseAcrossTiersAndShapes) {
+  std::mt19937_64 rng(41);
+  for (const Shape& s : kShapes) {
+    for (const bool zeros : {false, true}) {
+      const aligned_vector<cplx> a = random_buf(s.m * s.k, rng, zeros);
+      const aligned_vector<cplx> b = random_buf(s.k * s.n, rng, zeros);
+      aligned_vector<cplx> ref(s.m * s.n, cplx{0.0, 0.0});
+      detail::matmul_accumulate(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+      for (const KernelTier tier : available_tiers()) {
+        const KernelTable* kt = kernel_table(tier);
+        aligned_vector<cplx> got(s.m * s.n, cplx{0.0, 0.0});
+        kt->matmul(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+        expect_same_bits(ref, got,
+                         (std::string("matmul ") + kt->name + " " + std::to_string(s.m) + "x" +
+                          std::to_string(s.k) + "x" + std::to_string(s.n))
+                             .c_str());
+      }
+    }
+  }
+}
+
+TEST(Kernels, SelectedMicrokernelsBitwiseAcrossTiersAndShapes) {
+  std::mt19937_64 rng(42);
+  for (const Shape& s : kShapes) {
+    const aligned_vector<cplx> a = random_buf(s.m * s.k, rng, true);
+    const aligned_vector<cplx> b = random_buf(s.k * s.n, rng, true);
+    aligned_vector<cplx> ref(s.m * s.n, cplx{0.0, 0.0});
+    detail::select_matmul(s.m, s.k, s.n)(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+    // select must agree with the generic kernel within a tier, too.
+    aligned_vector<cplx> generic(s.m * s.n, cplx{0.0, 0.0});
+    detail::matmul_accumulate(a.data(), b.data(), generic.data(), s.m, s.k, s.n);
+    expect_same_bits(generic, ref, "scalar select vs generic");
+    for (const KernelTier tier : available_tiers()) {
+      const KernelTable* kt = kernel_table(tier);
+      aligned_vector<cplx> got(s.m * s.n, cplx{0.0, 0.0});
+      kt->select(s.m, s.k, s.n)(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+      expect_same_bits(ref, got,
+                       (std::string("select ") + kt->name + " " + std::to_string(s.m) + "x" +
+                        std::to_string(s.k) + "x" + std::to_string(s.n))
+                           .c_str());
+    }
+  }
+}
+
+TEST(Kernels, GatheredBitwiseAcrossTiersAndIndexModes) {
+  std::mt19937_64 rng(43);
+  for (const Shape& s : kShapes) {
+    const aligned_vector<cplx> a = random_buf(s.m * s.k, rng, true);
+    const aligned_vector<cplx> b = random_buf(s.k * s.n, rng, true);
+    // Gather tables: random permutations of the operand elements, the same
+    // shape permute_gather produces for fused permutations.
+    std::vector<std::uint32_t> a_idx(s.m * s.k), b_idx(s.k * s.n);
+    for (std::size_t i = 0; i < a_idx.size(); ++i) a_idx[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = 0; i < b_idx.size(); ++i) b_idx[i] = static_cast<std::uint32_t>(i);
+    std::shuffle(a_idx.begin(), a_idx.end(), rng);
+    std::shuffle(b_idx.begin(), b_idx.end(), rng);
+    const std::uint32_t* amode[] = {nullptr, a_idx.data()};
+    const std::uint32_t* bmode[] = {nullptr, b_idx.data()};
+    for (const std::uint32_t* ai : amode) {
+      for (const std::uint32_t* bi : bmode) {
+        aligned_vector<cplx> ref(s.m * s.n, cplx{0.0, 0.0});
+        detail::matmul_accumulate_gathered(a.data(), ai, b.data(), bi, ref.data(), s.m, s.k,
+                                           s.n);
+        for (const KernelTier tier : available_tiers()) {
+          const KernelTable* kt = kernel_table(tier);
+          aligned_vector<cplx> got(s.m * s.n, cplx{0.0, 0.0});
+          kt->gathered(a.data(), ai, b.data(), bi, got.data(), s.m, s.k, s.n);
+          expect_same_bits(ref, got,
+                           (std::string("gathered ") + kt->name + (ai ? " a-idx" : "") +
+                            (bi ? " b-idx" : ""))
+                               .c_str());
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, BatchedBitwiseAcrossTiersIncludingBroadcast) {
+  std::mt19937_64 rng(44);
+  for (const Shape& s : kShapes) {
+    const std::size_t batch = 5;
+    const aligned_vector<cplx> a = random_buf(batch * s.m * s.k, rng, true);
+    const aligned_vector<cplx> b = random_buf(batch * s.k * s.n, rng, true);
+    // Stride combinations: full/full, broadcast-a (stride 0), broadcast-b.
+    const std::size_t strides[][2] = {
+        {s.m * s.k, s.k * s.n}, {0, s.k * s.n}, {s.m * s.k, 0}};
+    for (const auto& st : strides) {
+      aligned_vector<cplx> ref(batch * s.m * s.n, cplx{0.0, 0.0});
+      detail::matmul_accumulate_batched(a.data(), b.data(), ref.data(), s.m, s.k, s.n, batch,
+                                        st[0], st[1], s.m * s.n);
+      for (const KernelTier tier : available_tiers()) {
+        const KernelTable* kt = kernel_table(tier);
+        aligned_vector<cplx> got(batch * s.m * s.n, cplx{0.0, 0.0});
+        kt->batched(a.data(), b.data(), got.data(), s.m, s.k, s.n, batch, st[0], st[1],
+                    s.m * s.n);
+        expect_same_bits(ref, got, (std::string("batched ") + kt->name).c_str());
+      }
+    }
+  }
+}
+
+TEST(Kernels, ArenaAndScratchBuffersAre64ByteAligned) {
+  // Regression: operator new on complex<double> only guarantees 16 bytes;
+  // every kernel-visible executor buffer must start on a 64-byte boundary.
+  for (const std::size_t elems : {1ul, 3ul, 17ul, 1000ul, 4097ul}) {
+    aligned_vector<cplx> v(elems);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kKernelAlignment, 0u)
+        << "aligned_vector of " << elems;
+    tn::ArenaBuffer arena;
+    arena.ensure(elems);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arena.data()) % kKernelAlignment, 0u)
+        << "ArenaBuffer of " << elems;
+  }
+  // PlanWorkspace's buffers go through the same types.
+  tn::PlanWorkspace ws;
+  ws.arena.resize(129);
+  ws.scratch_a.resize(65);
+  ws.scratch_b.resize(33);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ws.arena.data()) % kKernelAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ws.scratch_a.data()) % kKernelAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ws.scratch_b.data()) % kKernelAlignment, 0u);
+}
+
+// --- whole-pipeline bit-identity with each tier forced -----------------------
+
+qc::Circuit pipeline_circuit(int n, std::mt19937_64& rng) {
+  qc::Circuit c(n);
+  std::uniform_int_distribution<int> qubit(0, n - 1);
+  std::uniform_real_distribution<double> angle(-3.0, 3.0);
+  for (std::size_t i = 0; i < 4 * static_cast<std::size_t>(n); ++i) {
+    switch (rng() % 6) {
+      case 0: c.add(qc::h(qubit(rng))); break;
+      case 1: c.add(qc::t(qubit(rng))); break;
+      case 2: c.add(qc::rx(qubit(rng), angle(rng))); break;
+      case 3: c.add(qc::rz(qubit(rng), angle(rng))); break;
+      default: {
+        int a = qubit(rng), b = qubit(rng);
+        while (b == a) b = qubit(rng);
+        c.add(rng() % 2 ? qc::cz(a, b) : qc::cx(a, b));
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+TEST(Kernels, PipelineBitwiseAcrossForcedTiers) {
+  using core::ApproxBatchResult;
+  using core::ApproxOptions;
+  using core::ApproxResult;
+  using core::SweepOptions;
+  std::mt19937_64 rng(45);
+  const int n = 5;
+  const qc::Circuit circuit = pipeline_circuit(n, rng);
+  const ch::NoisyCircuit nc = bench::insert_noises(circuit, 2, bench::realistic_noise(), 7);
+  std::vector<std::uint64_t> vb;
+  for (int i = 0; i < 9; ++i) vb.push_back(rng() & ((std::uint64_t{1} << n) - 1));
+
+  ApproxOptions base;
+  base.level = 2;
+  // Force the tensor-network backend: it is the path that runs the plan
+  // executor's kernels (Auto would pick the state vector at 5 qubits).
+  base.eval.backend = core::EvalOptions::Backend::TensorNetwork;
+
+  // Scalar-tier reference for every bitstring...
+  std::vector<ApproxResult> refs;
+  {
+    TierGuard guard(KernelTier::Scalar);
+    for (const std::uint64_t v : vb) refs.push_back(core::approximate_fidelity(nc, 0, v, base));
+  }
+
+  // ...must be reproduced EXACTLY by every tier, per-bitstring and through
+  // the sharded sweep, at multiple thread counts.
+  for (const KernelTier tier : available_tiers()) {
+    TierGuard guard(tier);
+    for (std::size_t o = 0; o < vb.size(); ++o) {
+      const ApproxResult got = core::approximate_fidelity(nc, 0, vb[o], base);
+      EXPECT_EQ(refs[o].value, got.value) << kernel_tier_name(tier) << " output " << o;
+      EXPECT_EQ(refs[o].raw.real(), got.raw.real()) << kernel_tier_name(tier);
+      EXPECT_EQ(refs[o].raw.imag(), got.raw.imag()) << kernel_tier_name(tier);
+      ASSERT_EQ(refs[o].level_values.size(), got.level_values.size());
+      for (std::size_t u = 0; u < got.level_values.size(); ++u)
+        EXPECT_EQ(refs[o].level_values[u], got.level_values[u]) << kernel_tier_name(tier);
+    }
+    for (const std::size_t threads : {1ul, 3ul}) {
+      SweepOptions sopts;
+      sopts.approx = base;
+      sopts.approx.threads = threads;
+      sopts.shard_outputs = 4;  // ragged: 9 outputs across shards of 4
+      const ApproxBatchResult sweep = core::xeb_sweep(nc, 0, vb, sopts);
+      ASSERT_EQ(sweep.raw.size(), vb.size());
+      for (std::size_t o = 0; o < vb.size(); ++o) {
+        EXPECT_EQ(refs[o].raw.real(), sweep.raw[o].real())
+            << kernel_tier_name(tier) << " threads " << threads << " output " << o;
+        EXPECT_EQ(refs[o].raw.imag(), sweep.raw[o].imag())
+            << kernel_tier_name(tier) << " threads " << threads << " output " << o;
+      }
+    }
+  }
+}
+
+TEST(Kernels, DispatchCountersAttributeEveryKernelToTheForcedTier) {
+  using core::ApproxOptions;
+  std::mt19937_64 rng(46);
+  const qc::Circuit circuit = pipeline_circuit(4, rng);
+  const ch::NoisyCircuit nc = bench::insert_noises(circuit, 2, bench::realistic_noise(), 11);
+  ApproxOptions base;
+  base.level = 1;
+  base.eval.backend = core::EvalOptions::Backend::TensorNetwork;
+  for (const KernelTier tier : available_tiers()) {
+    TierGuard guard(tier);
+    const core::ApproxResult r = core::approximate_fidelity(nc, 0, 5, base);
+    const tn::ContractStats& st = r.contract_stats;
+    ASSERT_GT(st.num_pairwise, 0u) << kernel_tier_name(tier);
+    EXPECT_EQ(st.kernels_scalar + st.kernels_avx2 + st.kernels_avx512, st.num_pairwise);
+    const std::size_t in_tier = tier == KernelTier::Scalar   ? st.kernels_scalar
+                                : tier == KernelTier::Avx2   ? st.kernels_avx2
+                                                             : st.kernels_avx512;
+    EXPECT_EQ(in_tier, st.num_pairwise) << kernel_tier_name(tier);
+  }
+}
+
+TEST(Kernels, WorkspaceTableOverridesActiveTier) {
+  // The executor seam: a table injected through PlanWorkspace::kernels wins
+  // over the process-wide dispatch, and its invocations are attributed to
+  // ITS tier -- the contract a GPU/remote table will rely on.
+  std::mt19937_64 rng(47);
+  tn::Network net;
+  const tn::EdgeId e0 = net.new_edge(), e1 = net.new_edge(), e2 = net.new_edge();
+  auto rand_tensor = [&](std::vector<std::size_t> shape) {
+    Tensor t(std::move(shape));
+    std::normal_distribution<double> gauss;
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] = cplx{gauss(rng), gauss(rng)};
+    return t;
+  };
+  net.add_node(rand_tensor({2, 3}), {e0, e1});
+  net.add_node(rand_tensor({3, 4}), {e1, e2});
+  net.add_node(rand_tensor({4, 2}), {e2, e0});
+  const tn::ContractionPlan plan = tn::ContractionPlan::compile(net, {});
+
+  TierGuard guard(resolve_kernel_tier(KernelTier::Avx512));  // active != injected below
+  tn::PlanWorkspace ws;
+  tn::ContractStats stats;
+  ws.kernels = kernel_table(KernelTier::Scalar);
+  const Tensor via_scalar = plan.execute(net, ws, &stats);
+  EXPECT_EQ(stats.kernels_scalar, stats.num_pairwise);
+  ws.kernels = nullptr;
+  const Tensor via_active = plan.execute(net, ws);
+  ASSERT_EQ(via_scalar.size(), via_active.size());
+  for (std::size_t i = 0; i < via_scalar.size(); ++i) EXPECT_EQ(via_scalar[i], via_active[i]);
+}
+
+}  // namespace
+}  // namespace noisim::tsr
