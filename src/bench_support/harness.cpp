@@ -24,6 +24,9 @@ RunOutcome run_guarded_stats(const std::function<double(tn::ContractStats&)>& fn
   } catch (const TimeoutError& e) {
     out.status = RunOutcome::Status::Timeout;
     out.note = e.what();
+  } catch (const CancelledError& e) {
+    out.status = RunOutcome::Status::Cancelled;
+    out.note = e.what();
   }
   out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
   return out;
@@ -87,6 +90,7 @@ std::string status_label(const RunOutcome& r) {
   switch (r.status) {
     case RunOutcome::Status::MemoryOut: return "MO";
     case RunOutcome::Status::Timeout: return "TO";
+    case RunOutcome::Status::Cancelled: return "CX";
     case RunOutcome::Status::Skipped: return "-";
     case RunOutcome::Status::Ok: return "";
   }

@@ -12,7 +12,7 @@
 namespace noisim::bench {
 
 struct RunOutcome {
-  enum class Status { Ok, MemoryOut, Timeout, Skipped };
+  enum class Status { Ok, MemoryOut, Timeout, Cancelled, Skipped };
   Status status = Status::Skipped;
   double seconds = 0.0;
   double value = 0.0;       // the computed fidelity / estimate when Ok
@@ -27,7 +27,8 @@ struct RunOutcome {
   bool ok() const { return status == Status::Ok; }
 };
 
-/// Run `fn`, timing it and mapping MemoryOutError -> MO, TimeoutError -> TO.
+/// Run `fn`, timing it and mapping MemoryOutError -> MO, TimeoutError -> TO,
+/// CancelledError -> CX.
 RunOutcome run_guarded(const std::function<double()>& fn);
 
 /// run_guarded variant whose workload reports contraction stats through the
@@ -50,9 +51,10 @@ std::string cpu_model();
 /// speedups read as ~1x) are self-explanatory.
 std::string machine_json();
 
-/// "12.34" for Ok (seconds), "MO" / "TO" / "-" otherwise.
+/// "12.34" for Ok (seconds), "MO" / "TO" / "CX" / "-" otherwise.
 std::string format_time(const RunOutcome& r);
-/// Scientific-notation value ("1.55e-04") for Ok, "MO"/"TO"/"-" otherwise.
+/// Scientific-notation value ("1.55e-04") for Ok, "MO"/"TO"/"CX"/"-"
+/// otherwise.
 std::string format_value(const RunOutcome& r);
 /// Format a double in the paper's precision style.
 std::string sci(double v);

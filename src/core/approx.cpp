@@ -14,6 +14,7 @@
 #include "circuit/simplify.hpp"
 #include "core/bounds.hpp"
 #include "core/plan_cache.hpp"
+#include "fault/fault.hpp"
 #include "linalg/svd.hpp"
 
 namespace noisim::core {
@@ -382,6 +383,13 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
   EvalOptions eval = resolved_eval_options(n, skeleton, opts.eval);
   eval.simplify = false;  // already applied to the skeleton
 
+  // Cooperative control for this sweep. Threading it through eval.tn covers
+  // plan compilation; cached templates null it out of their stored options
+  // (circuit_network.cpp), so a PlanCache hit can never replay a dangling
+  // pointer -- per-execution polling flows through Session::set_control.
+  const RunControl* control = opts.control;
+  eval.tn.control = control;
+
   const std::vector<Term> terms = enumerate_terms(base.sites, level);
   const std::size_t num_terms = terms.size();
   const std::size_t nn = static_cast<std::size_t>(n);
@@ -409,6 +417,20 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
   const std::size_t num_ranges = (num_terms + term_batch - 1) / term_batch;
 
   // --- per-strategy setup (templates, plans, factor tensors) ---------------
+  // A cancel that lands during setup (template/batched-plan compilation
+  // polls the control) salvages the well-defined "nothing completed yet"
+  // result instead of leaking a throw: cancelled = true, every output
+  // invalid. Deadlines and real errors still throw from here.
+  auto salvage_empty = [&]() -> ApproxBatchResult {
+    result.cancelled = true;
+    result.valid.assign(K, 0);
+    result.values.assign(K, 0.0);
+    result.raw.assign(K, cplx{0.0, 0.0});
+    result.term_sums.assign(K, std::vector<cplx>(level + 1, cplx{0.0, 0.0}));
+    result.level_values.assign(K, std::vector<double>(level + 1, 0.0));
+    return result;
+  };
+
   AcquiredTemplate top_at, bot_at;
   std::shared_ptr<const tn::BatchedPlan> top_bplan, bot_bplan;
   SiteFactors fac;
@@ -416,6 +438,7 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
   std::vector<std::size_t> slots, cap_nodes;
   std::size_t V = 0, capacity = 0;
 
+  try {
   if (tn_path) {
     // Canonical v = 0 templates: the output caps are placeholders (always
     // substituted below), so one cached entry serves EVERY bitstring set
@@ -464,6 +487,9 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
       bot_bplan.reset();
     }
   }
+  } catch (const CancelledError&) {
+    return salvage_empty();
+  }
 
   // Per-worker evaluator factory for the three (bit-identical) strategies.
   std::function<WorkerEval(std::size_t)> make_eval;
@@ -476,6 +502,8 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
           std::make_shared<AmplitudeTemplate::BatchedSession>(top_at.tmpl(), *top_bplan);
       auto bot_session =
           std::make_shared<AmplitudeTemplate::BatchedSession>(bot_at.tmpl(), *bot_bplan);
+      top_session->set_control(control);
+      bot_session->set_control(control);
       auto top_ptrs = std::make_shared<std::vector<const tsr::Tensor*>>(capacity * V);
       auto bot_ptrs = std::make_shared<std::vector<const tsr::Tensor*>>(capacity * V);
       auto top_amp = std::make_shared<std::vector<cplx>>(capacity);
@@ -530,6 +558,8 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
     make_eval = [&](std::size_t) -> WorkerEval {
       auto top_session = std::make_shared<AmplitudeTemplate::Session>(top_at.tmpl().session());
       auto bot_session = std::make_shared<AmplitudeTemplate::Session>(bot_at.tmpl().session());
+      top_session->set_control(control);
+      bot_session->set_control(control);
       auto top_subs =
           std::make_shared<std::vector<AmplitudeTemplate::Substitution>>(num_sites + nn);
       auto bot_subs =
@@ -637,19 +667,49 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
   std::mutex mutex;
   std::condition_variable cv;
   std::size_t next_item = 0;
-  bool aborted = false;
+  bool aborted = false;     // a worker threw: drain, then rethrow after join
+  bool cancelled = false;   // explicit cancel: drain, then SALVAGE (no throw)
   std::exception_ptr abort_error;
 
   timer.eval_started();
   auto worker = [&](std::size_t w) {
-    WorkerEval we = make_eval(w);
+    WorkerEval we;
+    try {
+      we = make_eval(w);  // session construction allocates; it can fail too
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      aborted = true;
+      if (!abort_error) abort_error = std::current_exception();
+      cv.notify_all();
+      return;
+    }
     while (true) {
+      // Cancellation/deadline poll at item-claim granularity: an explicit
+      // cancel stops the queue and salvages completed chunks below; an
+      // expired deadline aborts (TimeoutError rethrown after the join).
+      if (control) {
+        try {
+          control->poll();
+        } catch (const CancelledError&) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          cancelled = true;
+          cv.notify_all();
+          break;
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          aborted = true;
+          if (!abort_error) abort_error = std::current_exception();
+          cv.notify_all();
+          break;
+        }
+      }
       std::size_t item = 0, buf = 0;
       {
         std::unique_lock<std::mutex> lock(mutex);
-        cv.wait(lock,
-                [&] { return aborted || next_item >= num_items || !free_bufs.empty(); });
-        if (aborted || next_item >= num_items) break;
+        cv.wait(lock, [&] {
+          return aborted || cancelled || next_item >= num_items || !free_bufs.empty();
+        });
+        if (aborted || cancelled || next_item >= num_items) break;
         item = next_item++;
         buf = free_bufs.back();
         free_bufs.pop_back();
@@ -665,8 +725,19 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
       ChunkFold& cf = folds[c];
       std::vector<cplx>& vbuf = buffers[buf];
       try {
+        fault::poke("sweep-worker");
         vbuf.resize(tcount * cf.count);
         we.eval(t0, tcount, cf.begin, cf.count, std::span<cplx>(vbuf), worker_stats[w]);
+      } catch (const CancelledError&) {
+        // Step-granularity cancel inside the plan executor: the claimed item
+        // is abandoned (its chunk stays short of num_ranges, so it reports
+        // invalid), the buffer goes straight back to the pool, and the queue
+        // drains for salvage like the claim-time cancel above.
+        const std::lock_guard<std::mutex> lock(mutex);
+        cancelled = true;
+        free_bufs.push_back(buf);
+        cv.notify_all();
+        break;
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mutex);
         aborted = true;
@@ -719,6 +790,15 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
       futures.push_back(std::async(std::launch::async, worker, w));
     for (auto& f : futures) f.get();
   }
+  // Teardown pool integrity: stashed buffers whose predecessor range never
+  // arrived (abort / cancel) go back to the pool, after which every buffer
+  // must be accounted for -- a leak here would strand values across reruns.
+  for (ChunkFold& cf : folds) {
+    for (const auto& [range, fbuf] : cf.stash) free_bufs.push_back(fbuf);
+    cf.stash.clear();
+  }
+  la::detail::require(free_bufs.size() == pool_size,
+                      "sweep_outputs: buffer pool integrity lost during teardown");
   if (abort_error) std::rethrow_exception(abort_error);
   timer.eval_done();
 
@@ -732,10 +812,17 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
   result.raw.assign(K, cplx{0.0, 0.0});
   result.term_sums.assign(K, std::vector<cplx>(level + 1, cplx{0.0, 0.0}));
   result.level_values.assign(K, {});
+  result.cancelled = cancelled;
+  result.valid.assign(K, 1);
   for (std::size_t c = 0; c < num_chunks; ++c) {
     const ChunkFold& cf = folds[c];
+    // Salvage contract: a chunk's outputs are valid only once every term
+    // range has been folded into it -- those sums are then bitwise equal to
+    // the uncancelled run's, because the fold order per chunk is fixed.
+    const bool chunk_valid = cf.cursor == num_ranges;
     for (std::size_t o = 0; o < cf.count; ++o) {
       const std::size_t go = cf.begin + o;
+      if (!chunk_valid) result.valid[go] = 0;
       for (std::size_t u = 0; u <= level; ++u)
         result.term_sums[go][u] = cf.sums[o * (level + 1) + u];
       for (std::size_t u = 0; u <= level; ++u) {
@@ -839,6 +926,11 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
   EvalOptions eval = resolved_eval_options(n, skeleton, opts.eval);
   eval.simplify = false;  // already applied to the skeleton
 
+  // Cooperative control (see sweep_outputs): plan compiles poll through
+  // eval.tn, per-term execution polls through the sessions / workspaces.
+  const RunControl* control = opts.control;
+  eval.tn.control = control;
+
   const std::vector<Term> terms = enumerate_terms(base.sites, level);
 
   ApproxResult result;
@@ -902,6 +994,8 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
       run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
         AmplitudeTemplate::BatchedSession top_session(top_tmpl, *top_bplan);
         AmplitudeTemplate::BatchedSession bot_session(bot_tmpl, *bot_bplan);
+        top_session.set_control(control);
+        bot_session.set_control(control);
         std::vector<const tsr::Tensor*> top_ptrs(batch * num_sites);
         std::vector<const tsr::Tensor*> bot_ptrs(batch * num_sites);
         std::vector<cplx> top_amp(batch), bot_amp(batch);
@@ -936,6 +1030,8 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
       run_workers([&](std::size_t w, std::size_t begin, std::size_t end) {
         AmplitudeTemplate::Session top_session = top_tmpl.session();
         AmplitudeTemplate::Session bot_session = bot_tmpl.session();
+        top_session.set_control(control);
+        bot_session.set_control(control);
         std::vector<AmplitudeTemplate::Substitution> top_subs(num_sites), bot_subs(num_sites);
         for (std::size_t i = begin; i < end; ++i) {
           const Term& term = terms[i];
@@ -966,6 +1062,7 @@ ApproxResult approximate_fidelity(const ch::NoisyCircuit& nc, std::uint64_t psi_
     // owns private copies of the skeleton.
     auto eval_term = [&](const Term& term, std::vector<qc::Gate>& top,
                          std::vector<qc::Gate>& bottom, tn::ContractStats* stats) {
+      if (control) control->poll();  // SV terms have no inner poll points
       for (std::size_t s = 0; s < num_sites; ++s) {
         std::size_t t = 0;
         for (std::size_t c = 0; c < term.sites.size(); ++c)
@@ -1012,7 +1109,13 @@ ApproxBatchResult approximate_fidelity_outputs(const ch::NoisyCircuit& nc,
                                                std::uint64_t psi_bits,
                                                std::span<const std::uint64_t> v_bits,
                                                const ApproxOptions& opts) {
-  return sweep_outputs(nc, psi_bits, v_bits, opts, /*shard_outputs=*/0);
+  ApproxBatchResult r = sweep_outputs(nc, psi_bits, v_bits, opts, /*shard_outputs=*/0);
+  // This entry point's contract matches approximate_fidelity: a cancel
+  // raises. Salvage semantics (partial results + validity mask) are
+  // xeb_sweep's contract only.
+  if (r.cancelled)
+    throw CancelledError("approximate_fidelity_outputs cancelled via RunControl");
+  return r;
 }
 
 ApproxBatchResult xeb_sweep(const ch::NoisyCircuit& nc, std::uint64_t psi_bits,

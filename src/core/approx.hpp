@@ -72,6 +72,16 @@ struct ApproxOptions {
   /// served from the cache report plans_compiled == 0. Only consulted on
   /// the tensor-network reuse_plans path.
   PlanCache* plan_cache = nullptr;
+  /// Cooperative control (core/run_control.hpp): polled by the sweep work
+  /// queue at every item claim, by plan compilation, and at step
+  /// granularity inside every plan replay (threaded into each worker
+  /// session's workspace). An expired deadline raises TimeoutError and a
+  /// cancel raises CancelledError from approximate_fidelity /
+  /// approximate_fidelity_outputs; xeb_sweep instead SALVAGES completed
+  /// output-chunks on cancel (see ApproxBatchResult::cancelled). A control
+  /// that never fires changes nothing: results stay bit-identical to
+  /// control == nullptr. Caller-owned; null disables.
+  const RunControl* control = nullptr;
 };
 
 struct ApproxResult {
@@ -153,6 +163,19 @@ struct ApproxBatchResult {
   tn::ContractStats contract_stats;
   double plan_seconds = 0.0;
   double eval_seconds = 0.0;
+  /// Salvage contract (xeb_sweep only): true when a RunControl cancel
+  /// stopped the sweep before every item was folded. Workers stop claiming
+  /// items within one work item of the cancel, drain their in-flight item,
+  /// and the completed output-chunks are returned: valid[o] != 0 iff output
+  /// o's chunk folded its full term range, and every such values[o] /
+  /// raw[o] / level_values[o] / term_sums[o] is bitwise equal to the
+  /// uncancelled run at the same configuration (the chunk-ordered fold is
+  /// deterministic). Outputs with valid[o] == 0 hold partial sums and must
+  /// be ignored. A deadline or any worker error still THROWS (TimeoutError
+  /// / the worker's exception) -- only an explicit cancel salvages.
+  bool cancelled = false;
+  /// Per-output validity mask; sized like values, all 1 when !cancelled.
+  std::vector<char> valid;
 };
 ApproxBatchResult approximate_fidelity_outputs(const ch::NoisyCircuit& nc,
                                                std::uint64_t psi_bits,

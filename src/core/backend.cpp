@@ -9,6 +9,7 @@
 #include "core/doubled_network.hpp"
 #include "core/plan_cache.hpp"
 #include "core/trajectories_tn.hpp"
+#include "fault/fault.hpp"
 #include "mps/mps_trajectories.hpp"
 #include "sim/density.hpp"
 #include "sim/trajectories.hpp"
@@ -74,6 +75,7 @@ CostEstimate sampler_estimate(const sim::TrajectoryCost& cost, const SimulateOpt
 sim::ParallelOptions parallel_options(const SimulateOptions& opts) {
   sim::ParallelOptions popts;
   popts.threads = opts.threads;
+  popts.control = opts.control;
   return popts;
 }
 
@@ -305,6 +307,7 @@ ApproxOptions tn_approx_options(const SimulateOptions& opts, std::size_t level) 
     a.eval.tn.timeout_seconds = opts.deadline;
   a.threads = opts.threads;
   a.plan_cache = opts.plan_cache;
+  a.control = opts.control;
   return a;
 }
 
@@ -323,6 +326,9 @@ void validate_simulate_options(const SimulateOptions& opts) {
 SimResult simulate(const ch::NoisyCircuit& nc, std::uint64_t psi_bits, std::uint64_t v_bits,
                    const SimulateOptions& opts) {
   validate_simulate_options(opts);
+  // A pre-cancelled or pre-expired control fails fast, before any backend
+  // bids (estimation can compile plans, which is real work).
+  if (opts.control) opts.control->poll();
 
   // A call-local plan cache keeps estimation's compiled templates alive for
   // the run even when the caller shares none; results are bit-identical
@@ -372,6 +378,11 @@ SimResult simulate(const ch::NoisyCircuit& nc, std::uint64_t psi_bits, std::uint
   for (const std::size_t i : order) {
     if (!bids[i].estimate.feasible) break;  // order is feasible-first
     try {
+      // Injection site at the winner's entry (run-density, run-tdd, ...):
+      // fires before the engine touches its state, so escalation recovers
+      // through the next bid exactly as a real first-instruction failure
+      // would. The enabled() guard keeps the disarmed path allocation-free.
+      if (fault::enabled()) fault::poke(std::string("run-") + backend_name(bids[i].kind));
       pool[i]->run(nc, psi_bits, v_bits, ropts, bids[i].estimate, out);
       out.backend = bids[i].kind;
       out.config = bids[i].estimate;

@@ -99,6 +99,15 @@ struct SimulateOptions {
   /// regime 2^ceil(n/2) <= mps.max_bond, where no truncation can occur;
   /// raise max_bond to let it bid on wider circuits.
   mps::MpsOptions mps;
+  /// Cooperative cancellation / deadline control (core/run_control.hpp),
+  /// threaded into every engine simulate() runs: the TN plan executors poll
+  /// it per step, the sweep queue per claimed item, and the trajectory
+  /// runners per chunk. An expired deadline raises TimeoutError (which the
+  /// escalation ladder treats like any run-time timeout); a cancel raises
+  /// CancelledError, which simulate() never absorbs -- it propagates to the
+  /// caller. Null disables; a control that never fires leaves results
+  /// bit-identical. Caller-owned, must outlive the call.
+  const RunControl* control = nullptr;
 };
 
 /// One backend's plan-time bid: what it would cost and what it can promise.

@@ -93,7 +93,14 @@ AmplitudeTemplate::AmplitudeTemplate(int n, const std::vector<qc::Gate>& skeleto
       n_(n),
       num_gates_(skeleton.size()),
       cap_zero_(basis_state_tensor(false)),
-      cap_one_(basis_state_tensor(true)) {}
+      cap_one_(basis_state_tensor(true)) {
+  // Templates are cached (core::PlanCache) and outlive the call that built
+  // them, so the caller's RunControl -- which the compile above honored --
+  // must not survive on the stored options: a later compile_batched through
+  // a cache hit would poll a dangling pointer. Run-time control reaches
+  // replays through each Session's workspace instead (set_control).
+  copts_.control = nullptr;
+}
 
 std::vector<std::size_t> AmplitudeTemplate::output_cap_nodes() const {
   std::vector<std::size_t> nodes(static_cast<std::size_t>(n_));

@@ -216,6 +216,11 @@ class AmplitudeTemplate {
     /// tensor replaced by *subs[i].second (shapes must match). Replays the
     /// compiled plan; no planning, near-zero allocation in steady state.
     cplx evaluate(std::span<const Substitution> subs);
+    /// Cooperative run-time control: every plan replay through this session
+    /// polls it at step granularity (tn::PlanWorkspace::control). Sessions
+    /// are per-call state, so the control lives here and never on the
+    /// (cached, shared) template. Null disables.
+    void set_control(const RunControl* control) { ws_.control = control; }
     /// Contraction stats accumulated across evaluate calls.
     const tn::ContractStats& stats() const { return stats_; }
 
@@ -256,6 +261,9 @@ class AmplitudeTemplate {
     void evaluate(std::span<const Substitution> subs,
                   std::span<const tsr::Tensor* const> ptrs, std::size_t k,
                   std::span<cplx> out);
+    /// Cooperative run-time control, polled at step granularity by every
+    /// batched replay through this session (see Session::set_control).
+    void set_control(const RunControl* control) { ws_.control = control; }
     /// Contraction stats accumulated across evaluate calls.
     const tn::ContractStats& stats() const { return stats_; }
 

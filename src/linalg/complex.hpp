@@ -46,6 +46,16 @@ class TimeoutError : public std::runtime_error {
   explicit TimeoutError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Exception thrown when a run is abandoned through core::RunControl's
+/// cancel flag. Deliberately NOT a MemoryOutError/TimeoutError sibling in
+/// the escalation sense: simulate() treats MO/TO as "this backend lost its
+/// bid, try the next one" but a cancel means the caller wants the whole
+/// computation gone, so CancelledError propagates through every layer.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const std::string& msg) { throw LinalgError(msg); }
 

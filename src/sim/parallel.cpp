@@ -4,10 +4,12 @@
 #include <cmath>
 #include <cstdlib>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "linalg/complex.hpp"
 
 namespace noisim::sim {
@@ -15,8 +17,16 @@ namespace noisim::sim {
 std::size_t resolve_threads(std::size_t requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("NOISIM_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
+    // Validated like NOISIM_KERNELS (tensor/kernels_dispatch.cpp): a value
+    // that is set but unusable is a misconfiguration worth failing on, not
+    // silently coercing to the hardware default.
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v <= 0)
+      throw LinalgError(std::string("NOISIM_THREADS: expected a positive integer "
+                                    "thread count, got \"") +
+                        env + "\"");
+    return static_cast<std::size_t>(v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
@@ -57,6 +67,29 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Shared failure gate for a worker pool: the first exception any worker
+/// hits is recorded and the abort flag tells siblings to stop claiming
+/// chunks, so a failed run drains within one chunk per worker instead of
+/// computing the whole remaining budget for a result that will be thrown
+/// away. Workers never throw out of their thread; the recorded exception is
+/// rethrown on the calling thread after every worker joined (futures and
+/// accumulators are all settled by then -- no leaks, no torn state).
+struct AbortGate {
+  std::atomic<bool> abort{false};
+  std::mutex mutex;
+  std::exception_ptr first_error;
+
+  bool stopping() const { return abort.load(std::memory_order_relaxed); }
+  void record() noexcept {
+    abort.store(true, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!first_error) first_error = std::current_exception();
+  }
+  void rethrow() {
+    if (first_error) std::rethrow_exception(first_error);
+  }
+};
+
 }  // namespace
 
 std::mt19937_64 chunk_rng(std::uint64_t seed, std::uint64_t chunk_index) {
@@ -77,19 +110,26 @@ TrajectoryResult run_trajectories_chunked(std::size_t samples, std::uint64_t see
 
   std::vector<Welford> chunk_stats(num_chunks);
   std::atomic<std::size_t> next{0};
+  AbortGate gate;
 
   auto worker = [&](std::size_t w) {
-    ChunkSampler sampler = make_sampler(w);
-    std::vector<double> values(opts.chunk_size);
-    while (true) {
-      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= num_chunks) break;
-      const std::size_t begin = c * opts.chunk_size;
-      const std::size_t end = std::min(begin + opts.chunk_size, samples);
-      std::mt19937_64 rng = chunk_rng(seed, c);
-      sampler(rng, std::span<double>(values.data(), end - begin));
-      Welford& stats = chunk_stats[c];
-      for (std::size_t s = 0; s < end - begin; ++s) stats.add(values[s]);
+    try {
+      ChunkSampler sampler = make_sampler(w);
+      std::vector<double> values(opts.chunk_size);
+      while (!gate.stopping()) {
+        const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) break;
+        if (opts.control) opts.control->poll();
+        fault::poke("traj-chunk");
+        const std::size_t begin = c * opts.chunk_size;
+        const std::size_t end = std::min(begin + opts.chunk_size, samples);
+        std::mt19937_64 rng = chunk_rng(seed, c);
+        sampler(rng, std::span<double>(values.data(), end - begin));
+        Welford& stats = chunk_stats[c];
+        for (std::size_t s = 0; s < end - begin; ++s) stats.add(values[s]);
+      }
+    } catch (...) {
+      gate.record();
     }
   };
 
@@ -100,8 +140,9 @@ TrajectoryResult run_trajectories_chunked(std::size_t samples, std::uint64_t see
     futures.reserve(threads);
     for (std::size_t w = 0; w < threads; ++w)
       futures.push_back(std::async(std::launch::async, worker, w));
-    for (auto& f : futures) f.get();  // rethrows worker exceptions
+    for (auto& f : futures) f.get();  // workers trap their own exceptions
   }
+  gate.rethrow();  // first worker exception, after every worker joined
 
   // Deterministic reduction: merge in chunk order, independent of which
   // worker computed which chunk.
@@ -132,21 +173,28 @@ std::vector<TrajectoryResult> run_trajectories_multi(
   // chunk-order merge below reproduces it bit for bit.
   std::vector<Welford> chunk_stats(num_chunks * num_estimates);
   std::atomic<std::size_t> next{0};
+  AbortGate gate;
 
   auto worker = [&](std::size_t w) {
-    MultiChunkSampler sampler = make_sampler(w);
-    std::vector<double> values(opts.chunk_size * num_estimates);
-    while (true) {
-      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= num_chunks) break;
-      const std::size_t begin = c * opts.chunk_size;
-      const std::size_t count = std::min(begin + opts.chunk_size, samples) - begin;
-      std::mt19937_64 rng = chunk_rng(seed, c);
-      sampler(rng, count, std::span<double>(values.data(), count * num_estimates));
-      for (std::size_t o = 0; o < num_estimates; ++o) {
-        Welford& stats = chunk_stats[c * num_estimates + o];
-        for (std::size_t s = 0; s < count; ++s) stats.add(values[s * num_estimates + o]);
+    try {
+      MultiChunkSampler sampler = make_sampler(w);
+      std::vector<double> values(opts.chunk_size * num_estimates);
+      while (!gate.stopping()) {
+        const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) break;
+        if (opts.control) opts.control->poll();
+        fault::poke("traj-chunk");
+        const std::size_t begin = c * opts.chunk_size;
+        const std::size_t count = std::min(begin + opts.chunk_size, samples) - begin;
+        std::mt19937_64 rng = chunk_rng(seed, c);
+        sampler(rng, count, std::span<double>(values.data(), count * num_estimates));
+        for (std::size_t o = 0; o < num_estimates; ++o) {
+          Welford& stats = chunk_stats[c * num_estimates + o];
+          for (std::size_t s = 0; s < count; ++s) stats.add(values[s * num_estimates + o]);
+        }
       }
+    } catch (...) {
+      gate.record();
     }
   };
 
@@ -157,8 +205,9 @@ std::vector<TrajectoryResult> run_trajectories_multi(
     futures.reserve(threads);
     for (std::size_t w = 0; w < threads; ++w)
       futures.push_back(std::async(std::launch::async, worker, w));
-    for (auto& f : futures) f.get();  // rethrows worker exceptions
+    for (auto& f : futures) f.get();  // workers trap their own exceptions
   }
+  gate.rethrow();  // first worker exception, after every worker joined
 
   for (std::size_t o = 0; o < num_estimates; ++o) {
     Welford total;
@@ -193,26 +242,33 @@ std::vector<TrajectoryResult> run_trajectories_sharded(
   // is sharded, so the chunk-order merge below is unchanged.
   std::vector<Welford> chunk_stats(num_chunks * num_estimates);
   std::atomic<std::size_t> next{0};
+  AbortGate gate;
 
   auto worker = [&](std::size_t w) {
-    ShardChunkSampler sampler = make_sampler(w);
-    std::vector<double> values(opts.chunk_size * shard);
-    while (true) {
-      const std::size_t item = next.fetch_add(1, std::memory_order_relaxed);
-      if (item >= num_items) break;
-      const std::size_t c = item / num_shards;
-      const std::size_t sh = item % num_shards;
-      const std::size_t shard_begin = sh * shard;
-      const std::size_t shard_count = std::min(shard, num_estimates - shard_begin);
-      const std::size_t begin = c * opts.chunk_size;
-      const std::size_t count = std::min(begin + opts.chunk_size, samples) - begin;
-      std::mt19937_64 rng = chunk_rng(seed, c);
-      sampler(rng, shard_begin, shard_count, count,
-              std::span<double>(values.data(), count * shard_count));
-      for (std::size_t j = 0; j < shard_count; ++j) {
-        Welford& stats = chunk_stats[c * num_estimates + shard_begin + j];
-        for (std::size_t s = 0; s < count; ++s) stats.add(values[s * shard_count + j]);
+    try {
+      ShardChunkSampler sampler = make_sampler(w);
+      std::vector<double> values(opts.chunk_size * shard);
+      while (!gate.stopping()) {
+        const std::size_t item = next.fetch_add(1, std::memory_order_relaxed);
+        if (item >= num_items) break;
+        if (opts.control) opts.control->poll();
+        fault::poke("traj-chunk");
+        const std::size_t c = item / num_shards;
+        const std::size_t sh = item % num_shards;
+        const std::size_t shard_begin = sh * shard;
+        const std::size_t shard_count = std::min(shard, num_estimates - shard_begin);
+        const std::size_t begin = c * opts.chunk_size;
+        const std::size_t count = std::min(begin + opts.chunk_size, samples) - begin;
+        std::mt19937_64 rng = chunk_rng(seed, c);
+        sampler(rng, shard_begin, shard_count, count,
+                std::span<double>(values.data(), count * shard_count));
+        for (std::size_t j = 0; j < shard_count; ++j) {
+          Welford& stats = chunk_stats[c * num_estimates + shard_begin + j];
+          for (std::size_t s = 0; s < count; ++s) stats.add(values[s * shard_count + j]);
+        }
       }
+    } catch (...) {
+      gate.record();
     }
   };
 
@@ -223,8 +279,9 @@ std::vector<TrajectoryResult> run_trajectories_sharded(
     futures.reserve(threads);
     for (std::size_t w = 0; w < threads; ++w)
       futures.push_back(std::async(std::launch::async, worker, w));
-    for (auto& f : futures) f.get();  // rethrows worker exceptions
+    for (auto& f : futures) f.get();  // workers trap their own exceptions
   }
+  gate.rethrow();  // first worker exception, after every worker joined
 
   for (std::size_t o = 0; o < num_estimates; ++o) {
     Welford total;

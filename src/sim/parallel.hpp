@@ -24,6 +24,8 @@
 #include <random>
 #include <span>
 
+#include "core/run_control.hpp"
+
 namespace noisim::sim {
 
 struct TrajectoryResult {
@@ -40,6 +42,14 @@ struct ParallelOptions {
   /// (seed, chunk_size) pair always draws the same streams, so changing it
   /// changes the (equally valid) estimate.
   std::size_t chunk_size = 32;
+  /// Cooperative control (core/run_control.hpp), polled by every worker
+  /// once per claimed chunk: a cancel raises CancelledError and an expired
+  /// deadline TimeoutError from the runner, within one chunk of the
+  /// trigger. Workers that observe a sibling's exception stop claiming
+  /// chunks (cooperative drain) and the FIRST exception is rethrown after
+  /// all workers join. Null disables; a control that never fires leaves
+  /// results bit-identical. Caller-owned.
+  const core::RunControl* control = nullptr;
 };
 
 /// Resolve ParallelOptions::threads (0 -> env/hardware default).

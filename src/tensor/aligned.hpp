@@ -14,6 +14,8 @@
 #include <new>
 #include <vector>
 
+#include "fault/fault.hpp"
+
 namespace noisim::tsr {
 
 /// Cache-line / widest-vector-register alignment every kernel tier may
@@ -31,6 +33,7 @@ struct AlignedAllocator {
   AlignedAllocator(const AlignedAllocator<U>&) {}
 
   T* allocate(std::size_t n) {
+    fault::poke("aligned-alloc");
     return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{kKernelAlignment}));
   }
   void deallocate(T* p, std::size_t) noexcept {

@@ -20,6 +20,7 @@ tsr::Tensor contract_network(const Network& net, const ContractOptions& opts,
   if (stats)
     stats->elapsed_seconds += std::chrono::duration<double>(Clock::now() - started).count();
   PlanWorkspace ws;
+  ws.control = opts.control;  // one-shot contraction: replay under the same control
   return plan.execute(net, ws, stats);  // adds its own elapsed time
 }
 

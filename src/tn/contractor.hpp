@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/run_control.hpp"
 #include "tn/network.hpp"
 
 namespace noisim::tn {
@@ -58,6 +59,15 @@ struct ContractOptions {
   /// many times can afford a deeper ladder. Must be non-empty for
   /// Greedy/Auto.
   std::vector<double> greedy_cost_weights{1.0, 4.0};
+  /// Cooperative control polled during PLANNING (compile-time cancel /
+  /// deadline / memory ceiling); caller-owned, may be null. Run-time
+  /// (replay) control travels through tn::PlanWorkspace::control instead,
+  /// because compiled plans are cached and shared across calls whose
+  /// controls differ -- nothing execution-scoped may be baked into a plan.
+  /// Deliberately excluded from PlanCache keys (core/plan_cache.cpp
+  /// serializes these options field by field): an armed control never
+  /// changes what a plan computes, only whether it is allowed to finish.
+  const core::RunControl* control = nullptr;
 };
 
 /// Counters accumulate across calls sharing one ContractStats (peak_elems

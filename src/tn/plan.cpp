@@ -167,6 +167,7 @@ struct PlanCompiler {
   }
 
   void check_deadline() const {
+    if (opts.control) opts.control->poll();
     if (has_deadline && Clock::now() > deadline)
       throw TimeoutError("tensor network contraction exceeded deadline");
   }
@@ -443,6 +444,9 @@ struct PlanCompiler {
 ContractionPlan ContractionPlan::compile(const Network& net, const ContractOptions& opts,
                                          ContractStats* stats) {
   la::detail::require(net.num_nodes() > 0, "ContractionPlan: empty network has no nodes");
+  fault::poke("plan-mo");
+  fault::poke("plan-to");
+  if (opts.control) opts.control->poll();
 
   // One deadline across every planning attempt below, so timeout_seconds
   // bounds the whole compile (each replay later gets its own budget).
@@ -550,6 +554,7 @@ tsr::Tensor ContractionPlan::execute(std::span<const tsr::Tensor* const> inputs,
     deadline = started + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double>(timeout_seconds_));
 
+  if (ws.control) ws.control->check_memory(arena_elems_, "contraction arena");
   ws.arena.resize(arena_elems_);
   ws.scratch_a.resize(scratch_a_elems_);
   ws.scratch_b.resize(scratch_b_elems_);
@@ -561,6 +566,9 @@ tsr::Tensor ContractionPlan::execute(std::span<const tsr::Tensor* const> inputs,
   const tsr::KernelTable& kt = ws.kernels ? *ws.kernels : tsr::active_kernels();
 
   for (const PlanStep& step : steps_) {
+    fault::poke("exec-step-mo");
+    fault::poke("exec-step-to");
+    if (ws.control) ws.control->poll();
     if (has_deadline && Clock::now() > deadline)
       throw TimeoutError("tensor network contraction exceeded deadline");
     const cplx* pa = slot_data(step.lhs, inputs, ws);
@@ -619,6 +627,9 @@ BatchedPlan ContractionPlan::compile_batched(std::span<const std::size_t> varyin
                                              std::size_t max_varied_per_term,
                                              std::span<const char> unconstrained) const {
   la::detail::require(capacity >= 1, "compile_batched: capacity must be positive");
+  fault::poke("plan-mo");
+  fault::poke("plan-to");
+  if (opts.control) opts.control->poll();
   la::detail::require(variant_counts.empty() || variant_counts.size() == varying_slots.size(),
                       "compile_batched: one variant count per varying slot");
   la::detail::require(unconstrained.empty() || unconstrained.size() == varying_slots.size(),
@@ -845,6 +856,7 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
                              std::chrono::duration<double>(
                                  timeout_seconds_ * static_cast<double>(k)));
 
+  if (ws.control) ws.control->check_memory(arena_elems_, "batched contraction arena");
   ws.batch_arena.ensure(arena_elems_);
   ws.scratch_a.resize(scratch_a_elems_);
   ws.scratch_b.resize(scratch_b_elems_);
@@ -914,6 +926,9 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
   // whole batch. Sequential (root-region) steps are skipped here and
   // replayed per term in pass 2 -- they never feed a batched step.
   for (std::size_t s = 0; s < steps_.size(); ++s) {
+    fault::poke("exec-step-mo");
+    fault::poke("exec-step-to");
+    if (ws.control) ws.control->poll();
     if (has_deadline && Clock::now() > deadline)
       throw TimeoutError("batched tensor network contraction exceeded deadline");
     const BatchedStep& st = steps_[s];
@@ -1091,6 +1106,9 @@ tsr::Tensor BatchedPlan::execute(std::span<const tsr::Tensor* const> shared,
     ws.seq_last.assign(steps_.size(), static_cast<std::uint32_t>(-1));
 
     for (std::size_t t = 0; t < k; ++t) {
+      fault::poke("exec-step-mo");
+      fault::poke("exec-step-to");
+      if (ws.control) ws.control->poll();
       if (has_deadline && Clock::now() > deadline)
         throw TimeoutError("batched tensor network contraction exceeded deadline");
       if (ws.term_rep[t] != t) {

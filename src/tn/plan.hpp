@@ -59,6 +59,7 @@ class ArenaBuffer {
  public:
   void ensure(std::size_t elems) {
     if (elems <= cap_) return;
+    fault::poke("arena-alloc");
     raw_.reset(static_cast<double*>(
         ::operator new(2 * elems * sizeof(double), std::align_val_t{tsr::kKernelAlignment})));
     cap_ = elems;
@@ -88,6 +89,12 @@ struct PlanWorkspace {
   /// honor the bit-identity contract of tensor/kernels.hpp). Null selects
   /// the dispatched CPU tier.
   const tsr::KernelTable* kernels = nullptr;
+  /// Cooperative run-time control (core/run_control.hpp), polled once per
+  /// contraction step by ContractionPlan::execute and both BatchedPlan
+  /// passes, so a cancel or expired deadline stops a replay within one
+  /// step. Lives on the workspace -- per-execution state -- rather than on
+  /// the (cached, shared) plan or its compile options. Null disables.
+  const core::RunControl* control = nullptr;
   tsr::aligned_vector<cplx> arena;
   ArenaBuffer batch_arena;  // batched replays only
   tsr::aligned_vector<cplx> scratch_a, scratch_b;
