@@ -6,17 +6,17 @@
 // variable NOISIM_BENCH_LARGE=1 is set. Timeout/memory guards mirror the
 // paper's TO/MO table entries (scaled down with the workload).
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "bench_support/generators.hpp"
 #include "bench_support/harness.hpp"
+#include "support/env.hpp"
 
 namespace noisim::bench {
 
 inline bool large_mode() {
-  const char* v = std::getenv("NOISIM_BENCH_LARGE");
+  const char* v = support::env_get("NOISIM_BENCH_LARGE");
   return v != nullptr && std::string(v) == "1";
 }
 

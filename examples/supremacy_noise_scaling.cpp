@@ -57,12 +57,14 @@ int main() {
       return pick.value;
     });
     const bool picked = ours.ok() && fit;
-    const std::string chosen =
-        picked ? std::string(core::backend_name(pick.backend)) +
-                     (pick.backend == core::BackendKind::TnApprox
-                          ? "/" + std::to_string(pick.config.level)
-                          : "")
-               : "no fit";
+    std::string chosen = "no fit";
+    if (picked) {
+      chosen = core::backend_name(pick.backend);
+      if (pick.backend == core::BackendKind::TnApprox) {
+        chosen += "/";
+        chosen += std::to_string(pick.config.level);
+      }
+    }
 
     table.add_row({std::to_string(count), bench::format_value(exact),
                    bench::format_time(exact), picked ? bench::format_value(ours) : "-",

@@ -3,11 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 
@@ -16,6 +14,7 @@
 #include "core/plan_cache.hpp"
 #include "fault/fault.hpp"
 #include "linalg/svd.hpp"
+#include "support/mutex.hpp"
 
 namespace noisim::core {
 
@@ -168,9 +167,9 @@ class SerializedProgress {
  public:
   explicit SerializedProgress(const std::function<void(std::size_t)>& callback)
       : callback_(callback) {}
-  void note() {
+  void note() EXCLUDES(mutex_) {
     if (callback_) {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const support::MutexLock lock(mutex_);
       callback_(++done_);
     } else {
       ++done_;
@@ -178,9 +177,11 @@ class SerializedProgress {
   }
 
  private:
+  // Immutable reference; the (possibly not thread-safe) callee is what the
+  // mutex serializes, not the member itself.
   const std::function<void(std::size_t)>& callback_;
   std::atomic<std::size_t> done_{0};
-  std::mutex mutex_;
+  support::Mutex mutex_;
 };
 
 // Wall-clock split of a sweep: everything before eval_started() is the
@@ -339,6 +340,209 @@ struct WorkerEval {
   // Merge any session-held stats into the worker's record (called once,
   // after the worker drains the queue).
   std::function<void(tn::ContractStats&)> flush;
+};
+
+// Streaming fold state for one output chunk (guarded by SweepQueue::mutex_).
+// The stash is an ORDERED map on purpose: folding walks completed ranges in
+// ascending term-enumeration order (lint rule unordered-fold).
+struct ChunkFold {
+  std::size_t begin = 0, count = 0;  // output range of the chunk
+  std::size_t cursor = 0;            // next term range to fold
+  std::vector<cplx> sums;            // count x (level + 1), output-major
+  std::map<std::size_t, std::size_t> stash;  // completed range -> buffer
+};
+
+// Scheduler for the sharded (term-range x output-chunk) work queue: item
+// claims, the bounded buffer pool, the cooperative cancel/abort flags, the
+// first-exception slot, the per-chunk streaming folds, and the
+// outstanding-chunk progress counters all live behind ONE annotated mutex,
+// so -Wthread-safety proves every cross-worker access is locked. Workers
+// call claim() -- which also polls the RunControl, the poll point of the
+// engine's cancellation contract -- evaluate the claimed item into their
+// pool buffer WITHOUT the lock (buffer ownership travels with the claim),
+// and hand the buffer back through fold_item(). After the join, the owning
+// thread runs finish() (stash drain + pool-integrity check + rethrow) and
+// moves the fold results out by value via take_folds().
+class SweepQueue {
+ public:
+  SweepQueue(const std::vector<Term>& terms, std::size_t K, std::size_t shard,
+             std::size_t level, std::size_t term_batch, std::size_t num_ranges,
+             std::size_t num_chunks, std::size_t pool_size, const RunControl* control)
+      : terms_(terms),
+        num_terms_(terms.size()),
+        num_chunks_(num_chunks),
+        num_ranges_(num_ranges),
+        num_items_(num_ranges * num_chunks),
+        level_(level),
+        term_batch_(term_batch),
+        pool_size_(pool_size),
+        control_(control) {
+    folds_.resize(num_chunks_);
+    for (std::size_t c = 0; c < num_chunks_; ++c) {
+      folds_[c].begin = c * shard;
+      folds_[c].count = std::min(shard, K - folds_[c].begin);
+      folds_[c].sums.assign(folds_[c].count * (level_ + 1), cplx{0.0, 0.0});
+    }
+    // Outstanding chunk folds per term, for the TERM-counting progress
+    // contract: a term is reported once every chunk has folded it.
+    term_pending_.assign(num_terms_, num_chunks_);
+    free_bufs_.resize(pool_size_);
+    for (std::size_t b = 0; b < pool_size_; ++b) free_bufs_[b] = b;
+  }
+
+  /// Claim the next (range, chunk) item together with a pool buffer,
+  /// blocking while the pool is empty. Polls the RunControl first
+  /// (cancellation/deadline at item-claim granularity: a cancel drains the
+  /// queue for salvage, a deadline or any other control error aborts).
+  /// Returns false when the worker should stop claiming: queue exhausted,
+  /// a sibling aborted, or a cancel was observed.
+  bool claim(std::size_t* range, std::size_t* chunk, std::size_t* buf) EXCLUDES(mutex_) {
+    if (control_) {
+      try {
+        control_->poll();
+      } catch (const CancelledError&) {
+        record_cancel();
+        return false;
+      } catch (...) {
+        record_abort();
+        return false;
+      }
+    }
+    const support::MutexLock lock(mutex_);
+    while (!(aborted_ || cancelled_ || next_item_ >= num_items_ || !free_bufs_.empty()))
+      cv_.wait(mutex_);
+    if (aborted_ || cancelled_ || next_item_ >= num_items_) return false;
+    const std::size_t item = next_item_++;
+    *buf = free_bufs_.back();
+    free_bufs_.pop_back();
+    if (next_item_ >= num_items_) cv_.notify_all();
+    // Range-major item order: for any chunk, lower term ranges are
+    // dispensed first, so every stashed buffer's predecessor is already in
+    // flight -- the fold below always advances.
+    *range = item / num_chunks_;
+    *chunk = item % num_chunks_;
+    return true;
+  }
+
+  /// Record the first worker exception and tell siblings to drain. The
+  /// buffer-returning overload hands the claimed buffer back to the pool
+  /// (an abandoned item computes nothing, so its buffer is clean).
+  void record_abort() EXCLUDES(mutex_) {
+    const support::MutexLock lock(mutex_);
+    abort_locked();
+  }
+  void record_abort(std::size_t buf) EXCLUDES(mutex_) {
+    const support::MutexLock lock(mutex_);
+    free_bufs_.push_back(buf);
+    abort_locked();
+  }
+
+  /// Record an explicit cancel: the queue drains and the caller SALVAGES
+  /// completed chunks instead of throwing (xeb_sweep's salvage contract).
+  void record_cancel() EXCLUDES(mutex_) {
+    const support::MutexLock lock(mutex_);
+    cancel_locked();
+  }
+  void record_cancel(std::size_t buf) EXCLUDES(mutex_) {
+    const support::MutexLock lock(mutex_);
+    free_bufs_.push_back(buf);
+    cancel_locked();
+  }
+
+  /// Stash the completed item's buffer and fold every consecutively ready
+  /// range in term-enumeration order -- the same arithmetic, in the same
+  /// order, as the per-bitstring reference's reduction. Returns how many
+  /// terms completed their LAST outstanding chunk (progress accounting;
+  /// the caller reports them outside the lock). `buffers` is the pool
+  /// storage: the claiming worker wrote values[buf] without the lock, and
+  /// this mutex hand-off is what publishes them to whichever worker folds.
+  std::size_t fold_item(std::size_t range, std::size_t chunk, std::size_t buf,
+                        const std::vector<std::vector<cplx>>& buffers) EXCLUDES(mutex_) {
+    const support::MutexLock lock(mutex_);
+    ChunkFold& cf = folds_[chunk];
+    cf.stash.emplace(range, buf);
+    std::size_t terms_done = 0;
+    for (auto it = cf.stash.find(cf.cursor); it != cf.stash.end();
+         it = cf.stash.find(cf.cursor)) {
+      const std::size_t fbuf = it->second;
+      const std::size_t f0 = cf.cursor * term_batch_;
+      const std::size_t fcount = std::min(term_batch_, num_terms_ - f0);
+      const std::vector<cplx>& fv = buffers[fbuf];
+      for (std::size_t t = 0; t < fcount; ++t) {
+        const std::size_t u = terms_[f0 + t].level;
+        for (std::size_t o = 0; o < cf.count; ++o)
+          cf.sums[o * (level_ + 1) + u] += fv[t * cf.count + o];
+        if (--term_pending_[f0 + t] == 0) ++terms_done;
+      }
+      cf.stash.erase(it);
+      free_bufs_.push_back(fbuf);
+      ++cf.cursor;
+    }
+    cv_.notify_all();
+    return terms_done;
+  }
+
+  /// Teardown, called once after every worker joined: stashed buffers whose
+  /// predecessor range never arrived (abort / cancel) go back to the pool,
+  /// after which every buffer must be accounted for -- a leak here would
+  /// strand values across reruns. Rethrows the first worker exception.
+  void finish() EXCLUDES(mutex_) {
+    std::exception_ptr err;
+    {
+      const support::MutexLock lock(mutex_);
+      for (ChunkFold& cf : folds_) {
+        for (const auto& [range, fbuf] : cf.stash) free_bufs_.push_back(fbuf);
+        cf.stash.clear();
+      }
+      la::detail::require(free_bufs_.size() == pool_size_,
+                          "sweep_outputs: buffer pool integrity lost during teardown");
+      err = abort_error_;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+  bool was_cancelled() const EXCLUDES(mutex_) {
+    const support::MutexLock lock(mutex_);
+    return cancelled_;
+  }
+
+  /// Move the fold results out (by value, per the no-references-into-
+  /// guarded-state convention). Call after finish().
+  std::vector<ChunkFold> take_folds() EXCLUDES(mutex_) {
+    const support::MutexLock lock(mutex_);
+    return std::move(folds_);
+  }
+
+ private:
+  void abort_locked() REQUIRES(mutex_) {
+    aborted_ = true;
+    if (!abort_error_) abort_error_ = std::current_exception();
+    cv_.notify_all();
+  }
+  void cancel_locked() REQUIRES(mutex_) {
+    cancelled_ = true;
+    cv_.notify_all();
+  }
+
+  const std::vector<Term>& terms_;  // immutable enumeration-order term list
+  const std::size_t num_terms_;
+  const std::size_t num_chunks_;
+  const std::size_t num_ranges_;
+  const std::size_t num_items_;
+  const std::size_t level_;
+  const std::size_t term_batch_;
+  const std::size_t pool_size_;
+  const RunControl* const control_;  // polled, never written
+
+  mutable support::Mutex mutex_;
+  support::CondVar cv_;  // lint: not-guarded(condvar; always signalled with mutex_ held)
+  std::size_t next_item_ GUARDED_BY(mutex_) = 0;
+  bool aborted_ GUARDED_BY(mutex_) = false;    // worker threw: drain, rethrow after join
+  bool cancelled_ GUARDED_BY(mutex_) = false;  // explicit cancel: drain, then SALVAGE
+  std::exception_ptr abort_error_ GUARDED_BY(mutex_);
+  std::vector<std::size_t> free_bufs_ GUARDED_BY(mutex_);  // bounded buffer pool
+  std::vector<ChunkFold> folds_ GUARDED_BY(mutex_);
+  std::vector<std::size_t> term_pending_ GUARDED_BY(mutex_);
 };
 
 // The engine behind approximate_fidelity_outputs and xeb_sweep: a single
@@ -635,22 +839,6 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
   }
 
   // --- scheduler + streaming fold ------------------------------------------
-  struct ChunkFold {
-    std::size_t begin = 0, count = 0;  // output range of the chunk
-    std::size_t cursor = 0;            // next term range to fold
-    std::vector<cplx> sums;            // count x (level + 1), output-major
-    std::map<std::size_t, std::size_t> stash;  // completed range -> buffer
-  };
-  std::vector<ChunkFold> folds(num_chunks);
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    folds[c].begin = c * shard;
-    folds[c].count = std::min(shard, K - folds[c].begin);
-    folds[c].sums.assign(folds[c].count * (level + 1), cplx{0.0, 0.0});
-  }
-  // Outstanding chunk folds per term, for the TERM-counting progress
-  // contract: a term is reported once every chunk has folded it.
-  std::vector<std::size_t> term_pending(num_terms, num_chunks);
-
   const std::size_t num_items = num_ranges * num_chunks;
   const std::size_t threads =
       std::max<std::size_t>(1, std::min<std::size_t>(opts.threads, num_items));
@@ -658,18 +846,15 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
 
   // Bounded buffer pool: claiming an item claims a buffer with it, so a
   // stalled chunk can never strand completed-but-unfoldable values beyond
-  // the pool -- the O(outputs) table bound of the engine contract.
+  // the pool -- the O(outputs) table bound of the engine contract. The pool
+  // STORAGE lives out here (workers write their claimed slot lock-free);
+  // the free list and all other shared scheduler state live inside the
+  // annotated SweepQueue above.
   const std::size_t pool_size = std::min(num_items, threads + 2);
   std::vector<std::vector<cplx>> buffers(pool_size);
-  std::vector<std::size_t> free_bufs(pool_size);
-  for (std::size_t b = 0; b < pool_size; ++b) free_bufs[b] = b;
 
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::size_t next_item = 0;
-  bool aborted = false;     // a worker threw: drain, then rethrow after join
-  bool cancelled = false;   // explicit cancel: drain, then SALVAGE (no throw)
-  std::exception_ptr abort_error;
+  SweepQueue queue(terms, K, shard, level, term_batch, num_ranges, num_chunks,
+                   pool_size, control);
 
   timer.eval_started();
   auto worker = [&](std::size_t w) {
@@ -677,100 +862,33 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
     try {
       we = make_eval(w);  // session construction allocates; it can fail too
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex);
-      aborted = true;
-      if (!abort_error) abort_error = std::current_exception();
-      cv.notify_all();
+      queue.record_abort();
       return;
     }
     while (true) {
-      // Cancellation/deadline poll at item-claim granularity: an explicit
-      // cancel stops the queue and salvages completed chunks below; an
-      // expired deadline aborts (TimeoutError rethrown after the join).
-      if (control) {
-        try {
-          control->poll();
-        } catch (const CancelledError&) {
-          const std::lock_guard<std::mutex> lock(mutex);
-          cancelled = true;
-          cv.notify_all();
-          break;
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(mutex);
-          aborted = true;
-          if (!abort_error) abort_error = std::current_exception();
-          cv.notify_all();
-          break;
-        }
-      }
-      std::size_t item = 0, buf = 0;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        cv.wait(lock, [&] {
-          return aborted || cancelled || next_item >= num_items || !free_bufs.empty();
-        });
-        if (aborted || cancelled || next_item >= num_items) break;
-        item = next_item++;
-        buf = free_bufs.back();
-        free_bufs.pop_back();
-        if (next_item >= num_items) cv.notify_all();
-      }
-      // Range-major item order: for any chunk, lower term ranges are
-      // dispensed first, so every stashed buffer's predecessor is already
-      // in flight -- the fold below always advances.
-      const std::size_t r = item / num_chunks;
-      const std::size_t c = item % num_chunks;
+      std::size_t r = 0, c = 0, buf = 0;
+      if (!queue.claim(&r, &c, &buf)) break;
       const std::size_t t0 = r * term_batch;
       const std::size_t tcount = std::min(term_batch, num_terms - t0);
-      ChunkFold& cf = folds[c];
+      const std::size_t obegin = c * shard;
+      const std::size_t ocount = std::min(shard, K - obegin);
       std::vector<cplx>& vbuf = buffers[buf];
       try {
         fault::poke("sweep-worker");
-        vbuf.resize(tcount * cf.count);
-        we.eval(t0, tcount, cf.begin, cf.count, std::span<cplx>(vbuf), worker_stats[w]);
+        vbuf.resize(tcount * ocount);
+        we.eval(t0, tcount, obegin, ocount, std::span<cplx>(vbuf), worker_stats[w]);
       } catch (const CancelledError&) {
         // Step-granularity cancel inside the plan executor: the claimed item
         // is abandoned (its chunk stays short of num_ranges, so it reports
         // invalid), the buffer goes straight back to the pool, and the queue
-        // drains for salvage like the claim-time cancel above.
-        const std::lock_guard<std::mutex> lock(mutex);
-        cancelled = true;
-        free_bufs.push_back(buf);
-        cv.notify_all();
+        // drains for salvage like the claim-time cancel inside claim().
+        queue.record_cancel(buf);
         break;
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex);
-        aborted = true;
-        if (!abort_error) abort_error = std::current_exception();
-        free_bufs.push_back(buf);
-        cv.notify_all();
+        queue.record_abort(buf);
         break;
       }
-      std::size_t terms_done = 0;
-      {
-        const std::lock_guard<std::mutex> lock(mutex);
-        cf.stash.emplace(r, buf);
-        // Fold every consecutively ready range in term-enumeration order --
-        // the same arithmetic, in the same order, as the per-bitstring
-        // reference's reduction.
-        for (auto it = cf.stash.find(cf.cursor); it != cf.stash.end();
-             it = cf.stash.find(cf.cursor)) {
-          const std::size_t fbuf = it->second;
-          const std::size_t f0 = cf.cursor * term_batch;
-          const std::size_t fcount = std::min(term_batch, num_terms - f0);
-          const std::vector<cplx>& fv = buffers[fbuf];
-          for (std::size_t t = 0; t < fcount; ++t) {
-            const std::size_t u = terms[f0 + t].level;
-            for (std::size_t o = 0; o < cf.count; ++o)
-              cf.sums[o * (level + 1) + u] += fv[t * cf.count + o];
-            if (--term_pending[f0 + t] == 0) ++terms_done;
-          }
-          cf.stash.erase(it);
-          free_bufs.push_back(fbuf);
-          ++cf.cursor;
-        }
-        cv.notify_all();
-      }
+      std::size_t terms_done = queue.fold_item(r, c, buf, buffers);
       // The user callback runs OUTSIDE the scheduler lock: a slow callback
       // only delays this worker (the documented contract), and a throwing
       // one unwinds after the fold state and buffers are already
@@ -790,16 +908,7 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
       futures.push_back(std::async(std::launch::async, worker, w));
     for (auto& f : futures) f.get();
   }
-  // Teardown pool integrity: stashed buffers whose predecessor range never
-  // arrived (abort / cancel) go back to the pool, after which every buffer
-  // must be accounted for -- a leak here would strand values across reruns.
-  for (ChunkFold& cf : folds) {
-    for (const auto& [range, fbuf] : cf.stash) free_bufs.push_back(fbuf);
-    cf.stash.clear();
-  }
-  la::detail::require(free_bufs.size() == pool_size,
-                      "sweep_outputs: buffer pool integrity lost during teardown");
-  if (abort_error) std::rethrow_exception(abort_error);
+  queue.finish();
   timer.eval_done();
 
   // Deterministic stats reduction: setup first, then workers in order.
@@ -808,11 +917,12 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
 
   // Per-output assembly from the streamed level sums -- the same arithmetic,
   // in the same order, as the output's single-output sweep.
+  const std::vector<ChunkFold> folds = queue.take_folds();
   result.values.assign(K, 0.0);
   result.raw.assign(K, cplx{0.0, 0.0});
   result.term_sums.assign(K, std::vector<cplx>(level + 1, cplx{0.0, 0.0}));
   result.level_values.assign(K, {});
-  result.cancelled = cancelled;
+  result.cancelled = queue.was_cancelled();
   result.valid.assign(K, 1);
   for (std::size_t c = 0; c < num_chunks; ++c) {
     const ChunkFold& cf = folds[c];

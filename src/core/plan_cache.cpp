@@ -38,7 +38,7 @@ std::shared_ptr<const tn::BatchedPlan> PlanCache::Entry::batched(
     const std::string& key, const std::function<tn::BatchedPlan()>& compile,
     bool* hit) const {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     const auto it = plans_.find(key);
     if (it != plans_.end()) {
       owner_->note(true);
@@ -50,7 +50,7 @@ std::shared_ptr<const tn::BatchedPlan> PlanCache::Entry::batched(
   // thread may compile the same plan -- equal topologies compile to equal
   // plans, so whichever insert wins is interchangeable.
   auto plan = std::make_shared<const tn::BatchedPlan>(compile());
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   if (plans_.size() >= kMaxBatchedPlans && !plans_.count(key)) plans_.clear();
   const auto [it, inserted] = plans_.emplace(key, plan);
   owner_->note(false);
@@ -61,7 +61,7 @@ std::shared_ptr<const tn::BatchedPlan> PlanCache::Entry::batched(
 std::shared_ptr<const PlanCache::Entry> PlanCache::entry(
     const std::string& key, const std::function<AmplitudeTemplate()>& build, bool* hit) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // touch
@@ -73,7 +73,7 @@ std::shared_ptr<const PlanCache::Entry> PlanCache::entry(
   // Build outside the lock; on a lost race adopt the winner's entry so all
   // callers share one instance (and one batched-plan memo).
   std::shared_ptr<const Entry> built(new Entry(this, build()));
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   ++misses_;
   if (hit) *hit = false;
   const auto it = index_.find(key);
@@ -91,28 +91,28 @@ std::shared_ptr<const PlanCache::Entry> PlanCache::entry(
 }
 
 std::size_t PlanCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return hits_;
 }
 
 std::size_t PlanCache::misses() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return misses_;
 }
 
 std::size_t PlanCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return lru_.size();
 }
 
 void PlanCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
 }
 
 void PlanCache::note(bool hit) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   if (hit)
     ++hits_;
   else

@@ -37,12 +37,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 
 #include "core/circuit_network.hpp"
+#include "support/mutex.hpp"
 
 namespace noisim::core {
 
@@ -72,7 +72,7 @@ class PlanCache {
     /// distinct capacities recompiles instead of growing without limit.
     std::shared_ptr<const tn::BatchedPlan> batched(
         const std::string& key, const std::function<tn::BatchedPlan()>& compile,
-        bool* hit = nullptr) const;
+        bool* hit = nullptr) const EXCLUDES(mutex_);
 
     /// Bound on memoized batched plans per entry (a level ladder or a
     /// handful of K/batch_terms shapes fit comfortably; see batched()).
@@ -83,10 +83,11 @@ class PlanCache {
     Entry(PlanCache* owner, AmplitudeTemplate tmpl)
         : owner_(owner), tmpl_(std::move(tmpl)) {}
 
-    PlanCache* owner_;
-    AmplitudeTemplate tmpl_;
-    mutable std::mutex mutex_;
-    mutable std::unordered_map<std::string, std::shared_ptr<const tn::BatchedPlan>> plans_;
+    PlanCache* const owner_;       // immutable back-pointer (counters only)
+    const AmplitudeTemplate tmpl_;  // immutable after construction
+    mutable support::Mutex mutex_;
+    mutable std::unordered_map<std::string, std::shared_ptr<const tn::BatchedPlan>> plans_
+        GUARDED_BY(mutex_);
   };
 
   /// Look up the template entry for `key`, building it with `build` on a
@@ -95,17 +96,17 @@ class PlanCache {
   /// cached and the exception propagates.
   std::shared_ptr<const Entry> entry(const std::string& key,
                                      const std::function<AmplitudeTemplate()>& build,
-                                     bool* hit = nullptr);
+                                     bool* hit = nullptr) EXCLUDES(mutex_);
 
   /// Cumulative lookup counters across template AND batched-plan lookups.
-  std::size_t hits() const;
-  std::size_t misses() const;
+  std::size_t hits() const EXCLUDES(mutex_);
+  std::size_t misses() const EXCLUDES(mutex_);
   /// Resident template entries / the eviction bound.
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mutex_);
   std::size_t max_entries() const { return max_entries_; }
   /// Drop every entry (in-flight shared_ptr holders keep theirs alive).
   /// Counters are preserved.
-  void clear();
+  void clear() EXCLUDES(mutex_);
 
   /// Serialize a template identity into a cache key: every input that
   /// enters AmplitudeTemplate construction, byte for byte (gate kinds,
@@ -124,16 +125,17 @@ class PlanCache {
                                  std::span<const char> unconstrained);
 
  private:
-  void note(bool hit);
+  void note(bool hit) EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::size_t max_entries_;
-  std::size_t hits_ = 0, misses_ = 0;
+  mutable support::Mutex mutex_;
+  const std::size_t max_entries_;  // immutable eviction bound
+  std::size_t hits_ GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ GUARDED_BY(mutex_) = 0;
   // LRU order, most recently used first; index_ points into lru_.
-  std::list<std::pair<std::string, std::shared_ptr<const Entry>>> lru_;
+  std::list<std::pair<std::string, std::shared_ptr<const Entry>>> lru_ GUARDED_BY(mutex_);
   std::unordered_map<std::string,
                      std::list<std::pair<std::string, std::shared_ptr<const Entry>>>::iterator>
-      index_;
+      index_ GUARDED_BY(mutex_);
 };
 
 }  // namespace noisim::core

@@ -1,9 +1,8 @@
 #include "fault/fault.hpp"
 
-#include <cstdlib>
-#include <mutex>
-
 #include "linalg/complex.hpp"
+#include "support/env.hpp"
+#include "support/mutex.hpp"
 
 namespace noisim::fault {
 
@@ -47,9 +46,9 @@ struct SiteState {
 // it. The pending env-parse error is delivered from the first poke so a
 // typo'd NOISIM_FAULTS fails the run loudly instead of injecting nothing.
 struct Registry {
-  std::mutex mutex;
-  SiteState sites[kNumSites];
-  std::string env_error;  // empty = none pending
+  support::Mutex mutex;
+  SiteState sites[kNumSites] GUARDED_BY(mutex);
+  std::string env_error GUARDED_BY(mutex);  // empty = none pending
 };
 
 Registry& registry() {
@@ -63,7 +62,7 @@ int site_index(std::string_view site) {
   return -1;
 }
 
-void refresh_enabled_locked(const Registry& r) {
+void refresh_enabled_locked(const Registry& r) REQUIRES(r.mutex) {
   bool any = !r.env_error.empty();
   for (const SiteState& s : r.sites) any = any || s.armed;
   detail::g_enabled.store(any, std::memory_order_relaxed);
@@ -83,7 +82,7 @@ void refresh_enabled_locked(const Registry& r) {
   throw FaultError(msg);
 }
 
-void parse_env_locked(Registry& r, const char* env) {
+void parse_env_locked(Registry& r, const char* env) REQUIRES(r.mutex) {
   // Grammar: <site>:<nth>[,<site>:<nth>...]  e.g. "exec-step-mo:2,plan-to:1"
   std::string_view rest(env);
   while (!rest.empty()) {
@@ -101,15 +100,15 @@ void parse_env_locked(Registry& r, const char* env) {
     const int idx = site_index(site);
     if (idx < 0)
       throw LinalgError("NOISIM_FAULTS: unknown site \"" + std::string(site) + "\"");
-    char* end = nullptr;
-    const unsigned long long nth = std::strtoull(nth_str.c_str(), &end, 10);
-    if (end == nth_str.c_str() || *end != '\0' || nth == 0)
+    // Shared strict grammar (support/env.hpp); the message stays byte-stable.
+    const std::optional<long> nth = support::parse_positive_int(nth_str.c_str());
+    if (!nth)
       throw LinalgError("NOISIM_FAULTS: nth must be a positive integer, got \"" +
                         nth_str + "\" for site \"" + std::string(site) + "\"");
     SiteState& s = r.sites[idx];
     s.armed = true;
     s.has_fired = false;
-    s.nth = static_cast<std::uint64_t>(nth);
+    s.nth = static_cast<std::uint64_t>(*nth);
     s.hits = 0;
   }
 }
@@ -123,7 +122,7 @@ struct EnvInit {
       arm_from_env();
     } catch (const LinalgError& e) {
       Registry& r = registry();
-      const std::lock_guard<std::mutex> lock(r.mutex);
+      const support::MutexLock lock(r.mutex);
       r.env_error = e.what();
       refresh_enabled_locked(r);
     }
@@ -141,7 +140,7 @@ void poke_slow(std::string_view site) {
   Registry& r = registry();
   std::string pending;
   {
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const support::MutexLock lock(r.mutex);
     if (!r.env_error.empty()) {
       pending = r.env_error;
     } else {
@@ -178,7 +177,7 @@ void arm(std::string_view site, std::uint64_t nth) {
   }
   la::detail::require(nth > 0, "fault::arm: nth must be >= 1");
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const support::MutexLock lock(r.mutex);
   SiteState& s = r.sites[static_cast<std::size_t>(idx)];
   s.armed = true;
   s.has_fired = false;
@@ -189,7 +188,7 @@ void arm(std::string_view site, std::uint64_t nth) {
 
 void disarm_all() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const support::MutexLock lock(r.mutex);
   for (SiteState& s : r.sites) s = SiteState{};
   r.env_error.clear();
   refresh_enabled_locked(r);
@@ -197,9 +196,9 @@ void disarm_all() {
 
 void arm_from_env() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const support::MutexLock lock(r.mutex);
   r.env_error.clear();
-  if (const char* env = std::getenv("NOISIM_FAULTS")) parse_env_locked(r, env);
+  if (const char* env = support::env_get("NOISIM_FAULTS")) parse_env_locked(r, env);
   refresh_enabled_locked(r);
 }
 
@@ -207,7 +206,7 @@ std::uint64_t hits(std::string_view site) {
   const int idx = site_index(site);
   if (idx < 0) return 0;
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const support::MutexLock lock(r.mutex);
   return r.sites[static_cast<std::size_t>(idx)].hits;
 }
 
@@ -215,7 +214,7 @@ bool fired(std::string_view site) {
   const int idx = site_index(site);
   if (idx < 0) return false;
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const support::MutexLock lock(r.mutex);
   return r.sites[static_cast<std::size_t>(idx)].has_fired;
 }
 

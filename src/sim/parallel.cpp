@@ -2,32 +2,26 @@
 
 #include <atomic>
 #include <cmath>
-#include <cstdlib>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fault/fault.hpp"
 #include "linalg/complex.hpp"
+#include "support/env.hpp"
+#include "support/mutex.hpp"
 
 namespace noisim::sim {
 
 std::size_t resolve_threads(std::size_t requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("NOISIM_THREADS")) {
-    // Validated like NOISIM_KERNELS (tensor/kernels_dispatch.cpp): a value
-    // that is set but unusable is a misconfiguration worth failing on, not
-    // silently coercing to the hardware default.
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || v <= 0)
-      throw LinalgError(std::string("NOISIM_THREADS: expected a positive integer "
-                                    "thread count, got \"") +
-                        env + "\"");
-    return static_cast<std::size_t>(v);
-  }
+  // Strict validation via the shared parser (support/env.hpp): a value that
+  // is set but unusable is a misconfiguration worth failing on, not
+  // silently coercing to the hardware default.
+  if (const std::optional<std::size_t> env =
+          support::env_positive_int("NOISIM_THREADS", "thread count"))
+    return *env;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }
@@ -74,20 +68,29 @@ std::uint64_t splitmix64(std::uint64_t x) {
 /// away. Workers never throw out of their thread; the recorded exception is
 /// rethrown on the calling thread after every worker joined (futures and
 /// accumulators are all settled by then -- no leaks, no torn state).
-struct AbortGate {
-  std::atomic<bool> abort{false};
-  std::mutex mutex;
-  std::exception_ptr first_error;
+class AbortGate {
+ public:
+  bool stopping() const { return abort_.load(std::memory_order_relaxed); }
+  void record() noexcept EXCLUDES(mutex_) {
+    abort_.store(true, std::memory_order_relaxed);
+    const support::MutexLock lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  void rethrow() EXCLUDES(mutex_) {
+    // Copy the slot out under the lock (callers run after the join, but the
+    // analysis holds every access to the guarded slot to the same rule).
+    std::exception_ptr err;
+    {
+      const support::MutexLock lock(mutex_);
+      err = first_error_;
+    }
+    if (err) std::rethrow_exception(err);
+  }
 
-  bool stopping() const { return abort.load(std::memory_order_relaxed); }
-  void record() noexcept {
-    abort.store(true, std::memory_order_relaxed);
-    const std::lock_guard<std::mutex> lock(mutex);
-    if (!first_error) first_error = std::current_exception();
-  }
-  void rethrow() {
-    if (first_error) std::rethrow_exception(first_error);
-  }
+ private:
+  std::atomic<bool> abort_{false};
+  support::Mutex mutex_;
+  std::exception_ptr first_error_ GUARDED_BY(mutex_);
 };
 
 }  // namespace

@@ -1,0 +1,33 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "linalg/complex.hpp"
+
+namespace noisim::support {
+
+const char* env_get(const char* name) noexcept {
+  // The single sanctioned std::getenv in the tree (linter rule env-getenv).
+  return std::getenv(name);  // lint: allow-getenv(the central parser itself)
+}
+
+std::optional<long> parse_positive_int(const char* text) noexcept {
+  if (text == nullptr) return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v <= 0) return std::nullopt;
+  return v;
+}
+
+std::optional<std::size_t> env_positive_int(const char* name, const char* what) {
+  const char* value = env_get(name);
+  if (value == nullptr) return std::nullopt;
+  const std::optional<long> parsed = parse_positive_int(value);
+  if (!parsed)
+    throw LinalgError(std::string(name) + ": expected a positive integer " + what +
+                      ", got \"" + value + "\"");
+  return static_cast<std::size_t>(*parsed);
+}
+
+}  // namespace noisim::support

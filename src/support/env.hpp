@@ -1,0 +1,38 @@
+#pragma once
+// Centralized environment-variable access with the strict validation
+// grammar shared by every NOISIM_* knob.
+//
+// Before this header existed, NOISIM_THREADS (sim/parallel.cpp),
+// NOISIM_KERNELS (tensor/kernels_dispatch.cpp) and NOISIM_FAULTS
+// (fault/fault.cpp) each carried their own std::getenv + strtol/strtoull
+// copy of the same rule: a variable that is SET but unusable is a
+// misconfiguration worth failing on loudly (LinalgError naming the
+// variable), never a silent fallback. The grammar lives here once, and the
+// repo-invariant linter (tools/lint_invariants.py, rule env-getenv)
+// rejects naked std::getenv anywhere outside this component -- every
+// environment read goes through env_get(), so there is exactly one place
+// where "what does the process environment mean to noisim" is defined.
+
+#include <cstddef>
+#include <optional>
+
+namespace noisim::support {
+
+/// Read `name` from the process environment (nullptr when unset). The one
+/// std::getenv call site in the tree.
+const char* env_get(const char* name) noexcept;
+
+/// Strict positive-integer grammar: base-10 as std::strtol reads it, the
+/// WHOLE string consumed (no trailing junk), value > 0. Returns nullopt on
+/// any violation -- callers own their (byte-stable) error messages.
+std::optional<long> parse_positive_int(const char* text) noexcept;
+
+/// env_get + parse_positive_int + the shared diagnostic: returns nullopt
+/// when `name` is unset, the parsed value when it is a strict positive
+/// integer, and otherwise throws LinalgError
+///   "<name>: expected a positive integer <what>, got \"<value>\""
+/// naming the variable (`what` is the variable-specific noun, e.g.
+/// "thread count").
+std::optional<std::size_t> env_positive_int(const char* name, const char* what);
+
+}  // namespace noisim::support

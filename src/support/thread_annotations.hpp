@@ -1,0 +1,76 @@
+#pragma once
+// Clang thread-safety-analysis attribute macros.
+//
+// These expand to Clang's capability attributes when the compiler supports
+// them (any recent Clang with -Wthread-safety) and to nothing everywhere
+// else, so GCC and MSVC builds are unaffected. The analysis is purely
+// static and intraprocedural: it checks, at compile time, that every read
+// or write of a GUARDED_BY(mu) member happens while `mu` is held, that
+// functions marked REQUIRES(mu) are only called with `mu` held, and that
+// ACQUIRE/RELEASE pairs balance on every path. CI compiles the tree with
+// -Wthread-safety -Werror=thread-safety, so a violation is a build break,
+// not a lucky TSan catch.
+//
+// Conventions in this codebase (see README "Static analysis"):
+//  * lock-protected state uses support::Mutex / support::MutexLock
+//    (support/mutex.hpp) -- std::mutex is opaque to the analysis;
+//  * every data member of a class that owns a Mutex is either
+//    GUARDED_BY(that mutex), a std::atomic, immutable after construction,
+//    or carries an explicit `// lint: not-guarded(<reason>)` marker -- the
+//    repo-invariant linter (tools/lint_invariants.py, rule mutex-guards)
+//    audits this;
+//  * private helpers that assume the lock is already held are named
+//    `*_locked` and annotated REQUIRES(mutex);
+//  * functions must not return references/pointers into guarded state --
+//    return by value while holding the lock instead.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define NOISIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NOISIM_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a synchronization capability (e.g. a mutex type).
+#define CAPABILITY(x) NOISIM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY NOISIM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define GUARDED_BY(x) NOISIM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose POINTEE is protected by the given capability (the
+/// pointer itself may be read freely).
+#define PT_GUARDED_BY(x) NOISIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the given capabilities
+/// (and does not release them).
+#define REQUIRES(...) NOISIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called while holding the capabilities shared.
+#define REQUIRES_SHARED(...) NOISIM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the given capabilities and holds them on return.
+#define ACQUIRE(...) NOISIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) NOISIM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases the given capabilities (held on entry).
+#define RELEASE(...) NOISIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) NOISIM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns the given value:
+/// TRY_ACQUIRE(true) or TRY_ACQUIRE(true, mu) -- the success value rides in
+/// the argument list so an omitted capability never leaves a dangling comma.
+#define TRY_ACQUIRE(...) NOISIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while holding the given capabilities
+/// (deadlock prevention: e.g. a public method of the class owning them).
+#define EXCLUDES(...) NOISIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the given capability.
+#define RETURN_CAPABILITY(x) NOISIM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment explaining why the analysis cannot see the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS NOISIM_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -13,7 +13,17 @@
 
 #if defined(__AVX512F__)
 
+// GCC 12's -Wmaybe-uninitialized fires inside avx512fintrin.h itself when
+// masked intrinsics inline at -O3 (the undefined-source idiom of
+// _mm512_maskz_*); scoped to the header so our own code stays checked.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 #include <immintrin.h>
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 #include <algorithm>
 

@@ -2,8 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
+
+#include "support/env.hpp"
 
 namespace noisim::tsr {
 
@@ -58,7 +59,7 @@ std::atomic<const KernelTable*> g_active{nullptr};
 
 const KernelTable* initial_table() {
   KernelTier requested = detected_kernel_tier();
-  if (const char* env = std::getenv("NOISIM_KERNELS")) requested = parse_kernel_tier(env);
+  if (const char* env = support::env_get("NOISIM_KERNELS")) requested = parse_kernel_tier(env);
   const KernelTier tier = resolve_kernel_tier(requested);
   if (tier != requested) warn_fallback_once(requested, tier);
   return kernel_table(tier);

@@ -34,6 +34,7 @@ const std::vector<Endpoint>& Network::endpoints(EdgeId e) const {
 
 std::vector<EdgeId> Network::open_edges() const {
   std::vector<EdgeId> open;
+  // lint: unordered-iter-ok(order-insensitive collect; sorted below)
   for (const auto& [edge, eps] : endpoints_)
     if (eps.size() == 1) open.push_back(edge);
   std::sort(open.begin(), open.end());

@@ -1,0 +1,14 @@
+// lint-fixture: expect(claim-loop-polls)
+// A worker claim loop that never polls a RunControl: once started it cannot
+// honor cancellation or deadlines -- the poll-at-claim-granularity contract
+// every dispenser in the tree follows.
+#include <atomic>
+#include <cstddef>
+
+void fixture_worker(std::atomic<std::size_t>& next, std::size_t num_items) {
+  while (true) {
+    const std::size_t item = next.fetch_add(1, std::memory_order_relaxed);
+    if (item >= num_items) break;
+    // ... evaluate item, with no control poll anywhere in the loop ...
+  }
+}

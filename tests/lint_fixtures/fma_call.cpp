@@ -1,0 +1,9 @@
+// lint-fixture: expect(no-fma)
+// A fused multiply-add rounds once where the deterministic kernels round
+// twice -- mul-then-add and fma(a, b, c) differ in the last ulp, which is
+// exactly the bit-identity the scalar/SIMD contract forbids losing.
+#include <cmath>
+
+double fixture_accumulate(double a, double b, double c) {
+  return std::fma(a, b, c);
+}

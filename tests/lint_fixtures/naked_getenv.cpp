@@ -1,0 +1,8 @@
+// lint-fixture: expect(env-getenv)
+// Reads the environment directly instead of going through support::env_get,
+// bypassing the centralized strict-validation grammar and error wording.
+#include <cstdlib>
+
+bool fixture_large_mode() {
+  return std::getenv("NOISIM_BENCH_LARGE") != nullptr;
+}

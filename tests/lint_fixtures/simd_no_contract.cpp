@@ -1,0 +1,5 @@
+// lint-fixture: expect(ffp-contract)
+// Includes the shared SIMD kernel body while its CMake entry (see the
+// fixture CMakeLists.txt next door) lacks -ffp-contract=off: the optimizer
+// is free to fuse the body's mul/add intrinsics into FMA.
+#include "tensor/kernels_simd_body.inc"

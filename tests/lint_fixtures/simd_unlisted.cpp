@@ -1,0 +1,5 @@
+// lint-fixture: expect(ffp-contract)
+// Includes the shared SIMD kernel body with NO set_source_files_properties
+// entry anywhere -- the TU silently compiles with the toolchain's default
+// contraction setting.
+#include "tensor/kernels_simd_body.inc"

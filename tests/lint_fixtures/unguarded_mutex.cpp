@@ -1,0 +1,18 @@
+// lint-fixture: expect(mutex-guards)
+// A mutex-owning class with a plain mutable member: nothing says which lock
+// protects `counter_`, so the Clang thread-safety analysis cannot check its
+// accesses -- the member must be GUARDED_BY(mutex_), const, atomic, or
+// carry an explicit // lint: not-guarded(<reason>) waiver.
+#include <mutex>
+
+class FixtureCounter {
+ public:
+  void bump() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counter_;
+  }
+
+ private:
+  std::mutex mutex_;
+  long counter_ = 0;
+};

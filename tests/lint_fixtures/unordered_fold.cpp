@@ -1,0 +1,15 @@
+// lint-fixture: expect(unordered-fold)
+// Folds a sum by iterating an unordered_map directly: the visit order is
+// hash order, so the floating-point accumulation differs run to run (and
+// libstdc++ version to version).
+#include <string>
+#include <unordered_map>
+
+double fixture_merge_totals() {
+  std::unordered_map<std::string, double> totals;
+  totals["a"] = 0.1;
+  totals["b"] = 0.2;
+  double sum = 0.0;
+  for (const auto& kv : totals) sum += kv.second;
+  return sum;
+}

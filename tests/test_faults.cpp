@@ -16,6 +16,7 @@
 #include "core/backend.hpp"
 #include "fault/fault.hpp"
 #include "sim/parallel.hpp"
+#include "support/env.hpp"
 
 namespace noisim::core {
 namespace {
@@ -33,7 +34,7 @@ struct EnvGuard {
   std::string saved;
   bool had = false;
   explicit EnvGuard(const char* n) : name(n) {
-    if (const char* v = std::getenv(n)) {
+    if (const char* v = support::env_get(n)) {
       saved = v;
       had = true;
     }

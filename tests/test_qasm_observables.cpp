@@ -247,7 +247,7 @@ TEST_P(PauliObservables, MatchesDensityMatrixTrace) {
   sim::DensityMatrix dm(3);
   dm.evolve(nc);
 
-  for (const std::string& ops : {"ZII", "IZI", "XXI", "IYZ", "XYZ", "III"}) {
+  for (const char* ops : {"ZII", "IZI", "XXI", "IYZ", "XYZ", "III"}) {
     const la::Matrix p = pauli_matrix(ops);
     const double want = (p * dm.to_matrix()).trace().real();
     const double got = core::expectation_pauli(nc, 0, core::PauliString::parse(ops));

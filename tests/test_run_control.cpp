@@ -17,6 +17,7 @@
 #include "core/backend.hpp"
 #include "core/run_control.hpp"
 #include "sim/parallel.hpp"
+#include "support/env.hpp"
 #include "tn/contractor.hpp"
 #include "tn/plan.hpp"
 
@@ -308,7 +309,7 @@ struct EnvGuard {
   std::string saved;
   bool had = false;
   explicit EnvGuard(const char* n) : name(n) {
-    if (const char* v = std::getenv(n)) {
+    if (const char* v = support::env_get(n)) {
       saved = v;
       had = true;
     }

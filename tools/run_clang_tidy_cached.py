@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a content-hash result cache (CI).
+
+run-clang-tidy re-analyzes every TU on every run; on a warm tree that is
+minutes of CI for zero new information. This driver keys each TU on a
+sha256 of everything that can change its verdict:
+
+  * the TU's own bytes,
+  * its exact compile command from compile_commands.json,
+  * the .clang-tidy configuration,
+  * a digest over EVERY first-party header (.hpp/.hh/.inc) -- one header
+    edit invalidates the whole cache rather than tracking per-TU include
+    graphs; safe over clever,
+  * the clang-tidy version string.
+
+A TU whose key has a stamp file in the cache directory is skipped; a TU
+that analyzes clean writes its stamp. Findings (clang-tidy exit != 0, with
+WarningsAsErrors: '*' any finding is fatal) leave no stamp, so reruns
+re-analyze exactly the dirty files. The CI job persists the cache directory
+with actions/cache keyed on the same hashes.
+
+Usage: run_clang_tidy_cached.py --build-dir build [--cache-dir .tidy-cache]
+                                [--clang-tidy clang-tidy-18] [--jobs N]
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+FIRST_PARTY_DIRS = ("src", "tests", "bench", "examples")
+HEADER_SUFFIXES = {".hpp", ".hh", ".inc"}
+EXCLUDED_PARTS = {"lint_fixtures"}  # deliberately-broken linter fixtures
+
+
+def sha256(*chunks):
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk if isinstance(chunk, bytes) else chunk.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def headers_digest(root):
+    parts = []
+    for d in FIRST_PARTY_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in HEADER_SUFFIXES and path.is_file() \
+                    and not EXCLUDED_PARTS & set(path.parts):
+                parts.append(str(path.relative_to(root)))
+                parts.append(path.read_bytes().hex())
+    return sha256(*parts)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", type=Path, required=True,
+                    help="directory containing compile_commands.json")
+    ap.add_argument("--cache-dir", type=Path, default=Path(".tidy-cache"))
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = ap.parse_args()
+
+    db_path = args.build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"error: {db_path} not found (configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        return 2
+    database = json.loads(db_path.read_text())
+
+    root = Path.cwd().resolve()
+    config = (root / ".clang-tidy").read_bytes()
+    version = subprocess.run([args.clang_tidy, "--version"],
+                             capture_output=True, text=True, check=True).stdout
+    hdr_digest = headers_digest(root)
+    args.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    jobs = []
+    for entry in database:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = (Path(entry["directory"]) / path).resolve()
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            continue  # out-of-tree TU (in-tree googletest build, system files)
+        if rel.parts[0] not in FIRST_PARTY_DIRS or EXCLUDED_PARTS & set(rel.parts):
+            continue
+        command = entry.get("command") or " ".join(entry.get("arguments", []))
+        key = sha256(version, config.hex(), hdr_digest, command, path.read_bytes().hex())
+        jobs.append((rel, path, key))
+
+    if not jobs:
+        print("error: no first-party TUs in the compilation database", file=sys.stderr)
+        return 2
+
+    def analyze(job):
+        rel, path, key = job
+        stamp = args.cache_dir / f"{key}.ok"
+        if stamp.exists():
+            return rel, True, True, ""
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", str(args.build_dir), "--quiet", str(path)],
+            capture_output=True, text=True)
+        ok = proc.returncode == 0
+        if ok:
+            stamp.write_text(str(rel))
+        return rel, ok, False, proc.stdout + proc.stderr
+
+    failures = 0
+    cached = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for rel, ok, from_cache, output in pool.map(analyze, jobs):
+            if from_cache:
+                cached += 1
+            elif ok:
+                print(f"clean: {rel}")
+            else:
+                failures += 1
+                print(f"FINDINGS in {rel}:\n{output}", file=sys.stderr)
+
+    print(f"run_clang_tidy_cached: {len(jobs)} TUs, {cached} cached, "
+          f"{failures} with findings")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
