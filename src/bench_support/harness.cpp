@@ -56,6 +56,27 @@ std::string stats_json(const tn::ContractStats& stats) {
                                   stats.elapsed_seconds / 1e9
                             : 0.0;
   out += ", \"effective_gflops\": " + sci(gflops);
+  // Portfolio accounting: per-strategy win counts and summed best-candidate
+  // flop estimates, keyed by strategy name (zero-only strategies omitted).
+  out += ", \"strategy_chosen\": {";
+  bool first = true;
+  for (std::size_t s = 0; s < tn::kNumOrderStrategies; ++s) {
+    if (stats.strategy_chosen[s] == 0) continue;
+    out += std::string(first ? "" : ", ") + "\"" +
+           tn::order_strategy_name(static_cast<tn::OrderStrategy>(s)) +
+           "\": " + std::to_string(stats.strategy_chosen[s]);
+    first = false;
+  }
+  out += "}, \"strategy_flops\": {";
+  first = true;
+  for (std::size_t s = 0; s < tn::kNumOrderStrategies; ++s) {
+    if (stats.strategy_flops[s] == 0) continue;
+    out += std::string(first ? "" : ", ") + "\"" +
+           tn::order_strategy_name(static_cast<tn::OrderStrategy>(s)) +
+           "\": " + std::to_string(stats.strategy_flops[s]);
+    first = false;
+  }
+  out += "}";
   out += "}";
   return out;
 }

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <exception>
 #include <future>
 #include <map>
 #include <memory>
@@ -404,7 +405,11 @@ class SweepQueue {
         record_cancel();
         return false;
       } catch (...) {
-        record_abort();
+        // A non-cancel control error (deadline, memory ceiling) aborts the
+        // sweep; stash the exception OBJECT explicitly so finish() rethrows
+        // the TimeoutError/MemoryOutError that actually fired, never a
+        // generic "a worker stopped".
+        record_abort(std::current_exception());
         return false;
       }
     }
@@ -424,17 +429,19 @@ class SweepQueue {
     return true;
   }
 
-  /// Record the first worker exception and tell siblings to drain. The
-  /// buffer-returning overload hands the claimed buffer back to the pool
-  /// (an abandoned item computes nothing, so its buffer is clean).
-  void record_abort() EXCLUDES(mutex_) {
+  /// Record the first worker/control exception (passed explicitly, never
+  /// fished out of ambient state) and tell siblings to drain; finish()
+  /// rethrows exactly that object after the join. The buffer-returning
+  /// overload hands the claimed buffer back to the pool (an abandoned item
+  /// computes nothing, so its buffer is clean).
+  void record_abort(std::exception_ptr err) EXCLUDES(mutex_) {
     const support::MutexLock lock(mutex_);
-    abort_locked();
+    abort_locked(std::move(err));
   }
-  void record_abort(std::size_t buf) EXCLUDES(mutex_) {
+  void record_abort(std::size_t buf, std::exception_ptr err) EXCLUDES(mutex_) {
     const support::MutexLock lock(mutex_);
     free_bufs_.push_back(buf);
-    abort_locked();
+    abort_locked(std::move(err));
   }
 
   /// Record an explicit cancel: the queue drains and the caller SALVAGES
@@ -514,9 +521,9 @@ class SweepQueue {
   }
 
  private:
-  void abort_locked() REQUIRES(mutex_) {
+  void abort_locked(std::exception_ptr err) REQUIRES(mutex_) {
     aborted_ = true;
-    if (!abort_error_) abort_error_ = std::current_exception();
+    if (!abort_error_) abort_error_ = std::move(err);
     cv_.notify_all();
   }
   void cancel_locked() REQUIRES(mutex_) {
@@ -862,7 +869,7 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
     try {
       we = make_eval(w);  // session construction allocates; it can fail too
     } catch (...) {
-      queue.record_abort();
+      queue.record_abort(std::current_exception());
       return;
     }
     while (true) {
@@ -885,7 +892,7 @@ ApproxBatchResult sweep_outputs(const ch::NoisyCircuit& nc, std::uint64_t psi_bi
         queue.record_cancel(buf);
         break;
       } catch (...) {
-        queue.record_abort(buf);
+        queue.record_abort(buf, std::current_exception());
         break;
       }
       std::size_t terms_done = queue.fold_item(r, c, buf, buffers);

@@ -1,5 +1,7 @@
 #include "support/env.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
@@ -14,9 +16,15 @@ const char* env_get(const char* name) noexcept {
 
 std::optional<long> parse_positive_int(const char* text) noexcept {
   if (text == nullptr) return std::nullopt;
+  // strtol silently skips leading whitespace and saturates out-of-range
+  // input to LONG_MAX/LONG_MIN (errno == ERANGE); both violate the strict
+  // grammar -- "NOISIM_THREADS= 4" and a 20-digit thread count are
+  // misconfigurations to reject, not values to reinterpret.
+  if (std::isspace(static_cast<unsigned char>(text[0]))) return std::nullopt;
   char* end = nullptr;
+  errno = 0;
   const long v = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || v <= 0) return std::nullopt;
+  if (errno == ERANGE || end == text || *end != '\0' || v <= 0) return std::nullopt;
   return v;
 }
 

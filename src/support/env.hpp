@@ -22,9 +22,11 @@ namespace noisim::support {
 /// std::getenv call site in the tree.
 const char* env_get(const char* name) noexcept;
 
-/// Strict positive-integer grammar: base-10 as std::strtol reads it, the
-/// WHOLE string consumed (no trailing junk), value > 0. Returns nullopt on
-/// any violation -- callers own their (byte-stable) error messages.
+/// Strict positive-integer grammar: base-10 digits with an optional sign,
+/// the WHOLE string consumed (no leading whitespace, no trailing junk),
+/// value > 0 and within range of long (out-of-range input is rejected, not
+/// saturated). Returns nullopt on any violation -- callers own their
+/// (byte-stable) error messages.
 std::optional<long> parse_positive_int(const char* text) noexcept;
 
 /// env_get + parse_positive_int + the shared diagnostic: returns nullopt

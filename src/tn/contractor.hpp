@@ -12,7 +12,26 @@
 //                 for few qubits / deep circuits). Builders that tag nodes
 //                 with grid coordinates can pass a custom sequence for
 //                 row-sweep (boundary) contraction instead.
-//  * Auto       — Greedy, falling back across strategies on memory-out.
+//  * PairwiseRecursive — balanced binary reduction over insertion order
+//                 (merge adjacent pairs, repeat on the halved level), the
+//                 pairwise grouping of ddsim's simulation-path framework.
+//  * Bracket    — partition insertion order into consecutive brackets
+//                 (sizes 2/4/8 tried as an internal ladder), contract
+//                 within each bracket sequentially, then fold the bracket
+//                 results sequentially.
+//  * Alternating — two accumulators absorb nodes from the front and the
+//                 back of insertion order alternately, merged at the end
+//                 (the gate-cap-balanced order of the same framework).
+//  * RandomGreedy — restarted greedy with a deterministically seeded score
+//                 jitter and a per-restart alpha drawn from a wide range
+//                 (CoTenGra-style randomized search); the seed is a pure
+//                 function of the network topology, never wall clock or
+//                 entropy, so the chosen plan stays a pure function of
+//                 topology + options.
+//  * Auto       — portfolio search across the strategies above (see
+//                 ContractOptions::portfolio), keeping the schedule with
+//                 minimum total flops; with the portfolio disabled, Greedy
+//                 with a Sequential fallback on memory-out.
 //
 // Guard rails: the contractor enforces a tensor-size budget and a wall-clock
 // deadline, throwing MemoryOutError / TimeoutError; the benchmark harness
@@ -23,6 +42,7 @@
 // replays it once. Callers contracting many networks that share a topology
 // should compile the plan themselves and replay it per instance.
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -31,7 +51,32 @@
 
 namespace noisim::tn {
 
-enum class OrderStrategy { Auto, Greedy, Sequential };
+enum class OrderStrategy {
+  Auto,
+  Greedy,
+  Sequential,
+  PairwiseRecursive,
+  Bracket,
+  Alternating,
+  RandomGreedy,
+};
+
+/// Number of OrderStrategy values (fixed-size per-strategy stats arrays).
+inline constexpr std::size_t kNumOrderStrategies = 7;
+
+/// Stable display name (stats_json keys, bench tables, test diagnostics).
+inline const char* order_strategy_name(OrderStrategy s) {
+  switch (s) {
+    case OrderStrategy::Auto: return "auto";
+    case OrderStrategy::Greedy: return "greedy";
+    case OrderStrategy::Sequential: return "sequential";
+    case OrderStrategy::PairwiseRecursive: return "pairwise_recursive";
+    case OrderStrategy::Bracket: return "bracket";
+    case OrderStrategy::Alternating: return "alternating";
+    case OrderStrategy::RandomGreedy: return "random_greedy";
+  }
+  return "unknown";
+}
 
 struct ContractOptions {
   OrderStrategy strategy = OrderStrategy::Auto;
@@ -59,6 +104,25 @@ struct ContractOptions {
   /// many times can afford a deeper ladder. Must be non-empty for
   /// Greedy/Auto.
   std::vector<double> greedy_cost_weights{1.0, 4.0};
+  /// Auto runs a portfolio search over `portfolio_strategies` (sharing the
+  /// one planning deadline above) and keeps the schedule with minimum total
+  /// flops, ties broken by peak intermediate and then by enumeration order
+  /// -- selection is a pure function of topology + these options, never of
+  /// wall clock or attempt timing, so cached plans and fresh compiles
+  /// always agree. Off restores the pre-portfolio Auto (Greedy with a
+  /// Sequential fallback on memory-out). Direct strategies ignore it.
+  bool portfolio = true;
+  /// Strategy subset the Auto portfolio tries, in tie-break order. Entries
+  /// must not be Auto; must be non-empty when the portfolio runs. Keeping
+  /// Greedy in the set guarantees the portfolio never selects a schedule
+  /// with more flops than the greedy ladder alone.
+  std::vector<OrderStrategy> portfolio_strategies{
+      OrderStrategy::Greedy, OrderStrategy::PairwiseRecursive, OrderStrategy::Bracket,
+      OrderStrategy::Alternating, OrderStrategy::RandomGreedy};
+  /// Restart count for RandomGreedy: each restart reseeds the score jitter
+  /// and redraws alpha from a deterministic per-restart stream (seeded by
+  /// the network's topology hash, restart index, and nothing else).
+  std::size_t random_restarts = 4;
   /// Cooperative control polled during PLANNING (compile-time cancel /
   /// deadline / memory ceiling); caller-owned, may be null. Run-time
   /// (replay) control travels through tn::PlanWorkspace::control instead,
@@ -106,6 +170,15 @@ struct ContractStats {
   std::size_t kernels_scalar = 0;
   std::size_t kernels_avx2 = 0;
   std::size_t kernels_avx512 = 0;
+  /// Portfolio accounting, indexed by static_cast<std::size_t>(strategy):
+  /// compiles whose winning schedule came from each strategy, and the
+  /// summed flop estimate of each strategy's best candidate schedule per
+  /// compile (0 while a strategy never produced a feasible schedule --
+  /// skipped, memory-out, or not in the portfolio subset). Together they
+  /// record which orders actually win and by how much, which is what
+  /// bench_ablation_orders gates on.
+  std::array<std::size_t, kNumOrderStrategies> strategy_chosen{};
+  std::array<std::size_t, kNumOrderStrategies> strategy_flops{};
 
   /// Fold another record into this one (counters add, peaks max) -- used
   /// to aggregate per-worker stats deterministically.
@@ -123,6 +196,10 @@ struct ContractStats {
     kernels_scalar += o.kernels_scalar;
     kernels_avx2 += o.kernels_avx2;
     kernels_avx512 += o.kernels_avx512;
+    for (std::size_t s = 0; s < kNumOrderStrategies; ++s) {
+      strategy_chosen[s] += o.strategy_chosen[s];
+      strategy_flops[s] += o.strategy_flops[s];
+    }
   }
 };
 

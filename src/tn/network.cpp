@@ -47,4 +47,23 @@ std::size_t Network::total_elements() const {
   return total;
 }
 
+std::uint64_t Network::topology_hash() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffULL;
+      h *= 1099511628211ULL;  // FNV-1a prime
+    }
+  };
+  mix(nodes_.size());
+  for (const Node& n : nodes_) {
+    mix(n.edges.size());
+    for (std::size_t ax = 0; ax < n.edges.size(); ++ax) {
+      mix(n.edges[ax]);
+      mix(n.tensor.dim(ax));
+    }
+  }
+  return h;
+}
+
 }  // namespace noisim::tn

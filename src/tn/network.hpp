@@ -12,6 +12,7 @@
 //    tsr::trace_axes before adding such a tensor.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,6 +63,13 @@ class Network {
 
   /// Total number of tensor elements stored (diagnostics).
   std::size_t total_elements() const;
+
+  /// FNV-1a digest of the network's TOPOLOGY (node count, per-node edge
+  /// ids and axis dims; tensor contents never enter). Equal topologies
+  /// hash equal, and the value involves no wall clock or process entropy,
+  /// so it can seed randomized planning without breaking the
+  /// plan-is-a-pure-function-of-topology contract.
+  std::uint64_t topology_hash() const;
 
  private:
   std::vector<Node> nodes_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <queue>
 #include <sstream>
 #include <unordered_map>
@@ -69,6 +70,23 @@ struct Candidate {
     if (score != o.score) return score > o.score;
     return result > o.result;
   }
+};
+
+/// Deterministic 64-bit generator (splitmix64) for RandomGreedy. The
+/// standard <random> distributions are implementation-defined, which would
+/// make the chosen plan depend on the C++ runtime; drawing uniforms
+/// directly from the raw stream keeps plan selection a pure function of
+/// the seed on every toolchain.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, 1) with 53 significant bits.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 };
 
 /// First-occurrence probe table for the batched executor's dedup scans:
@@ -332,25 +350,40 @@ struct PlanCompiler {
   /// far cheaper schedules. compile() tries a deterministic alpha ladder
   /// and keeps the cheapest plan -- planning runs once per topology, so the
   /// extra search amortizes over every replay.
-  void greedy(double alpha) {
+  ///
+  /// With `rng` set (RandomGreedy), the operand-size term of every scored
+  /// pair is multiplied by exp(jitter * u), u uniform in [-1, 1) -- the
+  /// CoTenGra-style perturbation that lets restarts escape the
+  /// deterministic heuristic's local choices. Draws happen in push order,
+  /// which is itself deterministic, so a fixed seed fixes the schedule.
+  void greedy(double alpha, SplitMix64* rng = nullptr, double jitter = 0.0) {
     std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> heap;
 
     auto push_pair = [&](std::size_t u, std::size_t v) {
       if (u > v) std::swap(u, v);
       const std::size_t rs = result_size(u, v);
+      double weight = alpha;
+      if (rng) weight *= std::exp(jitter * (2.0 * rng->uniform() - 1.0));
       const double score = static_cast<double>(rs) -
-                           alpha * (static_cast<double>(nodes[u].elems) +
-                                    static_cast<double>(nodes[v].elems));
+                           weight * (static_cast<double>(nodes[u].elems) +
+                                     static_cast<double>(nodes[v].elems));
       heap.push(Candidate{score, rs, u, v});
     };
 
     for (std::size_t i = 0; i < num_inputs; ++i)
-      if (alive[i])
+      if (alive[i]) {
+        check_deadline();
         for (std::size_t nb : neighbors(i))
           if (nb > i) push_pair(i, nb);
+      }
 
     bool saw_over_budget = false;
     while (!heap.empty()) {
+      // Polled per candidate, not just per merge: stale/over-budget
+      // candidates can dominate the drain on dense networks, and the
+      // deadline contract is bounded-latency abandonment of the whole
+      // compile (all strategies share one deadline).
+      check_deadline();
       const Candidate c = heap.top();
       heap.pop();
       if (!alive[c.u] || !alive[c.v]) continue;
@@ -397,6 +430,60 @@ struct PlanCompiler {
     }
     std::size_t acc = order[0];
     for (std::size_t i = 1; i < order.size(); ++i) acc = merge(acc, order[i]);
+  }
+
+  /// Balanced binary reduction over insertion order: merge adjacent pairs,
+  /// carry an odd leftover, repeat on the halved level (ddsim's pairwise
+  /// simulation-path grouping). Depth log2(n), so early intermediates stay
+  /// small on layered circuit networks.
+  void pairwise_recursive() {
+    std::vector<std::size_t> level(num_inputs);
+    for (std::size_t i = 0; i < num_inputs; ++i) level[i] = i;
+    while (level.size() > 1) {
+      std::vector<std::size_t> next;
+      next.reserve((level.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+        next.push_back(merge(level[i], level[i + 1]));
+      if (level.size() % 2 != 0) next.push_back(level.back());
+      level = std::move(next);
+    }
+  }
+
+  /// Consecutive brackets of `width` nodes in insertion order: contract
+  /// within each bracket sequentially, then fold the bracket results
+  /// sequentially -- the bracketed grouping of ddsim's simulation-path
+  /// framework (gate blocks absorb locally before touching the growing
+  /// accumulator).
+  void bracket(std::size_t width) {
+    std::vector<std::size_t> groups;
+    for (std::size_t start = 0; start < num_inputs; start += width) {
+      std::size_t acc = start;
+      const std::size_t stop = std::min(start + width, num_inputs);
+      for (std::size_t i = start + 1; i < stop; ++i) acc = merge(acc, i);
+      groups.push_back(acc);
+    }
+    std::size_t acc = groups[0];
+    for (std::size_t g = 1; g < groups.size(); ++g) acc = merge(acc, groups[g]);
+  }
+
+  /// Two accumulators absorb nodes from the front and the back of
+  /// insertion order alternately, merged at the end. On amplitude networks
+  /// (caps at both ends of the gate list) this contracts both boundaries
+  /// inward instead of dragging one accumulator across the whole circuit.
+  void alternating() {
+    if (num_inputs < 2) return;
+    std::size_t facc = 0;
+    std::size_t bacc = num_inputs - 1;
+    std::size_t lo = 1, hi = num_inputs - 2;
+    bool take_front = true;
+    while (lo <= hi) {
+      if (take_front)
+        facc = merge(facc, lo++);
+      else
+        bacc = merge(bacc, hi--);
+      take_front = !take_front;
+    }
+    merge(facc, bacc);
   }
 
   ContractionPlan finalize(const Network& net) {
@@ -456,11 +543,23 @@ ContractionPlan ContractionPlan::compile(const Network& net, const ContractOptio
     deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                   std::chrono::duration<double>(opts.timeout_seconds));
 
+  // Keep `plan` if it beats `best` by (total flops, peak intermediate);
+  // strict comparisons keep the EARLIER candidate on full ties, which is
+  // what makes every ladder and the portfolio tie-break stable in
+  // enumeration order.
+  auto keep_cheapest = [](ContractionPlan& best, bool& have_best, ContractionPlan&& plan) {
+    if (!have_best || plan.total_flops_ < best.total_flops_ ||
+        (plan.total_flops_ == best.total_flops_ && plan.peak_elems_ < best.peak_elems_)) {
+      best = std::move(plan);
+      have_best = true;
+    }
+  };
+
   auto build_sequential = [&] {
     PlanCompiler compiler(net, opts, deadline, has_deadline);
     compiler.sequential(opts.custom_sequence);
     ContractionPlan plan = compiler.finalize(net);
-    if (stats) ++stats->plans_compiled;
+    plan.chosen_strategy_ = OrderStrategy::Sequential;
     return plan;
   };
 
@@ -477,12 +576,7 @@ ContractionPlan ContractionPlan::compile(const Network& net, const ContractOptio
       try {
         PlanCompiler compiler(net, opts, deadline, has_deadline);
         compiler.greedy(alpha);
-        ContractionPlan plan = compiler.finalize(net);
-        if (!have_best || plan.total_flops_ < best.total_flops_ ||
-            (plan.total_flops_ == best.total_flops_ && plan.peak_elems_ < best.peak_elems_)) {
-          best = std::move(plan);
-          have_best = true;
-        }
+        keep_cheapest(best, have_best, compiler.finalize(net));
       } catch (const MemoryOutError&) {
         saw_memory_out = true;  // other weights may still fit the budget
       }
@@ -492,16 +586,137 @@ ContractionPlan ContractionPlan::compile(const Network& net, const ContractOptio
       throw MemoryOutError("tensor network contraction exceeded memory budget for every "
                            "greedy cost weight");
     }
-    if (stats) ++stats->plans_compiled;
+    best.chosen_strategy_ = OrderStrategy::Greedy;
     return best;
   };
 
-  switch (opts.strategy) {
-    case OrderStrategy::Greedy:
-      return build_greedy();
-    case OrderStrategy::Sequential:
-      return build_sequential();
-    case OrderStrategy::Auto:
+  auto build_pairwise = [&] {
+    PlanCompiler compiler(net, opts, deadline, has_deadline);
+    compiler.pairwise_recursive();
+    ContractionPlan plan = compiler.finalize(net);
+    plan.chosen_strategy_ = OrderStrategy::PairwiseRecursive;
+    return plan;
+  };
+
+  // Bracket widths form an internal ladder like the greedy score weights:
+  // three fixed widths, cheapest schedule wins, earlier width wins ties.
+  auto build_bracket = [&]() -> ContractionPlan {
+    ContractionPlan best;
+    bool have_best = false;
+    for (const std::size_t width : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      try {
+        PlanCompiler compiler(net, opts, deadline, has_deadline);
+        compiler.bracket(width);
+        keep_cheapest(best, have_best, compiler.finalize(net));
+      } catch (const MemoryOutError&) {
+        // narrower/wider brackets may still fit the budget
+      }
+    }
+    if (!have_best)
+      throw MemoryOutError("tensor network contraction exceeded memory budget for every "
+                           "bracket width");
+    best.chosen_strategy_ = OrderStrategy::Bracket;
+    return best;
+  };
+
+  auto build_alternating = [&] {
+    PlanCompiler compiler(net, opts, deadline, has_deadline);
+    compiler.alternating();
+    ContractionPlan plan = compiler.finalize(net);
+    plan.chosen_strategy_ = OrderStrategy::Alternating;
+    return plan;
+  };
+
+  // Restarted jittered greedy. Every restart's generator is seeded from
+  // the network's topology hash and the restart index alone -- no wall
+  // clock, no process entropy -- so the restart ladder (and therefore the
+  // kept schedule) is a pure function of topology + options, as the
+  // PlanCache replay contract requires.
+  auto build_random_greedy = [&]() -> ContractionPlan {
+    la::detail::require(opts.random_restarts > 0,
+                        "ContractionPlan: random_restarts must be >= 1");
+    const std::uint64_t topology_seed = net.topology_hash();
+    ContractionPlan best;
+    bool have_best = false;
+    for (std::size_t restart = 0; restart < opts.random_restarts; ++restart) {
+      SplitMix64 rng{topology_seed + 0x9e3779b97f4a7c15ULL * (restart + 1)};
+      // alpha log-uniform in [0.5, 8]: spans well past both ends of the
+      // deterministic ladder, which is where restarts find schedules the
+      // fixed weights miss.
+      const double alpha = 0.5 * std::exp(rng.uniform() * std::log(16.0));
+      try {
+        PlanCompiler compiler(net, opts, deadline, has_deadline);
+        compiler.greedy(alpha, &rng, 0.25);
+        keep_cheapest(best, have_best, compiler.finalize(net));
+      } catch (const MemoryOutError&) {
+        // other restarts may still fit the budget
+      }
+    }
+    if (!have_best)
+      throw MemoryOutError("tensor network contraction exceeded memory budget for every "
+                           "randomized greedy restart");
+    best.chosen_strategy_ = OrderStrategy::RandomGreedy;
+    return best;
+  };
+
+  auto build_for = [&](OrderStrategy s) -> ContractionPlan {
+    switch (s) {
+      case OrderStrategy::Greedy:
+        return build_greedy();
+      case OrderStrategy::Sequential:
+        return build_sequential();
+      case OrderStrategy::PairwiseRecursive:
+        return build_pairwise();
+      case OrderStrategy::Bracket:
+        return build_bracket();
+      case OrderStrategy::Alternating:
+        return build_alternating();
+      case OrderStrategy::RandomGreedy:
+        return build_random_greedy();
+      case OrderStrategy::Auto:
+        break;
+    }
+    la::detail::fail("ContractionPlan: invalid portfolio strategy");
+  };
+
+  // Portfolio search: try every configured strategy under the ONE shared
+  // deadline, keep the minimum-total-flop schedule (ties: peak elems, then
+  // enumeration order). A strategy that exceeds the memory budget is
+  // skipped -- some orders legitimately cannot fit budgets others can --
+  // but TimeoutError always propagates: returning a best-so-far at the
+  // deadline would make plan selection depend on wall clock, breaking the
+  // purity contract PlanCache and bit-identical replay rest on.
+  auto build_portfolio = [&]() -> ContractionPlan {
+    la::detail::require(!opts.portfolio_strategies.empty(),
+                        "ContractionPlan: portfolio_strategies must be non-empty");
+    for (const OrderStrategy s : opts.portfolio_strategies)
+      la::detail::require(s != OrderStrategy::Auto,
+                          "ContractionPlan: portfolio_strategies may not contain Auto");
+    ContractionPlan best;
+    bool have_best = false;
+    for (const OrderStrategy s : opts.portfolio_strategies) {
+      ContractionPlan plan;
+      try {
+        plan = build_for(s);
+      } catch (const MemoryOutError&) {
+        continue;
+      }
+      if (stats) stats->strategy_flops[static_cast<std::size_t>(s)] += plan.total_flops_;
+      keep_cheapest(best, have_best, std::move(plan));
+    }
+    if (have_best) return best;
+    // Every portfolio strategy exceeded the memory budget; the Auto
+    // contract keeps its pre-portfolio fallback of last resort.
+    ContractionPlan plan = build_sequential();
+    if (stats)
+      stats->strategy_flops[static_cast<std::size_t>(OrderStrategy::Sequential)] +=
+          plan.total_flops_;
+    return plan;
+  };
+
+  auto build = [&]() -> ContractionPlan {
+    if (opts.strategy == OrderStrategy::Auto) {
+      if (opts.portfolio) return build_portfolio();
       try {
         return build_greedy();
       } catch (const MemoryOutError&) {
@@ -509,8 +724,22 @@ ContractionPlan ContractionPlan::compile(const Network& net, const ContractOptio
         // succeed on few-qubit deep circuits where greedy fails.
         return build_sequential();
       }
+    }
+    return build_for(opts.strategy);
+  };
+
+  ContractionPlan plan = build();
+  if (stats) {
+    ++stats->plans_compiled;
+    ++stats->strategy_chosen[static_cast<std::size_t>(plan.chosen_strategy_)];
+    // The portfolio path records each attempt's estimate itself (the
+    // winner's is already in); direct strategies record theirs here, so
+    // strategy_flops is always "summed best-candidate flops per compile".
+    if (!(opts.strategy == OrderStrategy::Auto && opts.portfolio))
+      stats->strategy_flops[static_cast<std::size_t>(plan.chosen_strategy_)] +=
+          plan.total_flops_;
   }
-  la::detail::fail("ContractionPlan: unknown strategy");
+  return plan;
 }
 
 namespace {

@@ -224,8 +224,10 @@ class BatchedPlan {
 class ContractionPlan {
  public:
   /// Compile a plan for the network's topology. Ordering follows
-  /// opts.strategy exactly as contract_network does (Auto = Greedy with a
-  /// Sequential fallback on memory-out). Throws MemoryOutError when any
+  /// opts.strategy exactly as contract_network does (Auto = the strategy
+  /// portfolio when opts.portfolio is set, keeping the min-total-flop
+  /// schedule; otherwise Greedy with a Sequential fallback on memory-out).
+  /// Throws MemoryOutError when any
   /// intermediate exceeds opts.max_tensor_elems (or the arena exceeds
   /// opts.max_workspace_elems) and TimeoutError past opts.timeout_seconds,
   /// so MO/TO surface at plan time, before any arithmetic runs.
@@ -285,6 +287,11 @@ class ContractionPlan {
   /// Printable digest of the full schedule; equal topologies compile to
   /// equal fingerprints (plan determinism).
   std::string fingerprint() const;
+  /// The ordering strategy that produced this schedule. Direct compiles
+  /// report their strategy; an Auto portfolio compile reports the winning
+  /// portfolio entry (never Auto itself), and the pre-portfolio Auto
+  /// fallback reports Greedy or Sequential.
+  OrderStrategy chosen_strategy() const { return chosen_strategy_; }
 
  private:
   ContractionPlan() = default;
@@ -305,6 +312,7 @@ class ContractionPlan {
   std::vector<std::size_t> output_shape_;
   std::vector<std::size_t> output_src_stride_;
   double timeout_seconds_ = 0.0;
+  OrderStrategy chosen_strategy_ = OrderStrategy::Greedy;
   // Replay counter for plan-reuse accounting; shared so plans stay movable.
   std::shared_ptr<std::atomic<std::size_t>> executions_;
 

@@ -332,6 +332,50 @@ TEST_F(FaultTest, SweepWorkerThrowDrainsCleanAndRerunsBitIdentical) {
   }
 }
 
+// Control errors (deadline, memory ceiling) firing inside a worker's plan
+// executor go down the same abort path as generic worker throws; the sweep
+// must surface the control error OBJECT that actually fired -- the queue
+// stashes the explicit exception_ptr and finish() rethrows it -- never a
+// generic "a worker stopped" failure, and a clean rerun stays bitwise
+// equal.
+TEST_F(FaultTest, SweepControlErrorTypeSurvivesTheAbortPath) {
+  const ch::NoisyCircuit nc =
+      bench::insert_noises(bench::qaoa(16, 1, 77), 3, bench::depolarizing_noise(0.01), 601);
+  std::vector<std::uint64_t> outputs(16);
+  for (std::size_t o = 0; o < outputs.size(); ++o) outputs[o] = o * 37 % 65536;
+  SweepOptions sopts;
+  sopts.approx.level = 1;
+  sopts.approx.threads = 2;
+  sopts.shard_outputs = 4;
+
+  const ApproxBatchResult base = xeb_sweep(nc, 0, outputs, sopts);
+
+  struct Case {
+    const char* site;
+    void (*expect)(const ch::NoisyCircuit&, const std::vector<std::uint64_t>&,
+                   const SweepOptions&);
+  };
+  const Case cases[] = {
+      {"exec-step-to",
+       [](const ch::NoisyCircuit& c, const std::vector<std::uint64_t>& out,
+          const SweepOptions& so) { EXPECT_THROW(xeb_sweep(c, 0, out, so), TimeoutError); }},
+      {"exec-step-mo",
+       [](const ch::NoisyCircuit& c, const std::vector<std::uint64_t>& out,
+          const SweepOptions& so) { EXPECT_THROW(xeb_sweep(c, 0, out, so), MemoryOutError); }},
+  };
+  for (const Case& kase : cases) {
+    fault::arm(kase.site, 3);
+    kase.expect(nc, outputs, sopts);
+    EXPECT_TRUE(fault::fired(kase.site)) << kase.site;
+    const ApproxBatchResult rerun = xeb_sweep(nc, 0, outputs, sopts);
+    EXPECT_FALSE(rerun.cancelled);
+    ASSERT_EQ(rerun.values.size(), base.values.size());
+    for (std::size_t o = 0; o < outputs.size(); ++o)
+      EXPECT_EQ(rerun.values[o], base.values[o]) << kase.site << " output " << o;
+    fault::disarm_all();
+  }
+}
+
 // --- trajectory runners under worker throw -------------------------------
 
 TEST_F(FaultTest, TrajectoryChunkThrowPropagatesAndRerunsBitIdentical) {

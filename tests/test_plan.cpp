@@ -3,11 +3,14 @@
 // MO/TO surfacing at plan time.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <random>
+#include <thread>
 
 #include "bench_support/generators.hpp"
 #include "bench_support/harness.hpp"
 #include "core/approx.hpp"
+#include "core/circuit_network.hpp"
 #include "core/trajectories_tn.hpp"
 #include "tn/contractor.hpp"
 #include "tn/plan.hpp"
@@ -184,6 +187,130 @@ TEST(Plan, PlanTimeTimeoutMapsToTO) {
   });
   EXPECT_EQ(out.status, bench::RunOutcome::Status::Timeout);
   EXPECT_EQ(bench::format_time(out), "TO");
+}
+
+// --- contraction-order portfolio ------------------------------------------
+
+/// A 6x6 one-round QAOA amplitude network: ~100 nodes, wide enough that
+/// the portfolio's non-greedy orders make real choices and a compile does
+/// measurable work (which the bounded-deadline test below relies on).
+Network qaoa_amplitude_network() {
+  const qc::Circuit c = bench::qaoa(36, 1, 7);
+  return core::amplitude_network(c.num_qubits(), c.gates(), 0, 0);
+}
+
+/// Every concrete (non-Auto) strategy, for the forced-subset loops below.
+const OrderStrategy kAllConcreteStrategies[] = {
+    OrderStrategy::Greedy,  OrderStrategy::Sequential,  OrderStrategy::PairwiseRecursive,
+    OrderStrategy::Bracket, OrderStrategy::Alternating, OrderStrategy::RandomGreedy,
+};
+
+TEST(Portfolio, RepeatedCompilesAreFingerprintIdentical) {
+  // The portfolio is pure in topology + options: no wall-clock or RNG
+  // entropy may leak into the selection.
+  const Network net = qaoa_amplitude_network();
+  const ContractOptions opts;  // Auto with the portfolio on by default.
+  const ContractionPlan first = ContractionPlan::compile(net, opts);
+  EXPECT_NE(first.chosen_strategy(), OrderStrategy::Auto);
+  for (int i = 0; i < 3; ++i) {
+    const ContractionPlan again = ContractionPlan::compile(net, opts);
+    EXPECT_EQ(first.fingerprint(), again.fingerprint());
+    EXPECT_EQ(first.chosen_strategy(), again.chosen_strategy());
+  }
+}
+
+TEST(Portfolio, ConcurrentCompilesAreFingerprintIdentical) {
+  const Network net = qaoa_amplitude_network();
+  const ContractOptions opts;
+  const std::string expect = ContractionPlan::compile(net, opts).fingerprint();
+  for (std::size_t nthreads : {2u, 5u}) {
+    std::vector<std::string> got(nthreads);
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < nthreads; ++t)
+      pool.emplace_back(
+          [&, t] { got[t] = ContractionPlan::compile(net, opts).fingerprint(); });
+    for (std::thread& th : pool) th.join();
+    for (const std::string& fp : got) EXPECT_EQ(fp, expect);
+  }
+}
+
+TEST(Portfolio, NeverKeepsMoreFlopsThanGreedy) {
+  // Greedy is in the default subset, so the kept-cheapest rule can never
+  // select a schedule costlier than the greedy ladder's.
+  std::vector<Network> nets;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) nets.push_back(ladder_network(seed));
+  nets.push_back(qaoa_amplitude_network());
+  for (const Network& net : nets) {
+    ContractOptions greedy_opts;
+    greedy_opts.strategy = OrderStrategy::Greedy;
+    const ContractionPlan greedy = ContractionPlan::compile(net, greedy_opts);
+    const ContractionPlan portfolio = ContractionPlan::compile(net);
+    EXPECT_LE(portfolio.total_flops(), greedy.total_flops());
+  }
+}
+
+TEST(Portfolio, SingletonSubsetMatchesDirectStrategyBitwise) {
+  // Auto with portfolio_strategies = {s} must be indistinguishable from a
+  // direct strategy-s compile: same fingerprint, same replayed bits.
+  const Network net = ladder_network(31);
+  for (OrderStrategy s : kAllConcreteStrategies) {
+    ContractOptions direct;
+    direct.strategy = s;
+    ContractOptions forced;
+    forced.portfolio_strategies = {s};
+    const ContractionPlan direct_plan = ContractionPlan::compile(net, direct);
+    const ContractionPlan forced_plan = ContractionPlan::compile(net, forced);
+    EXPECT_EQ(direct_plan.fingerprint(), forced_plan.fingerprint())
+        << order_strategy_name(s);
+    EXPECT_EQ(direct_plan.chosen_strategy(), s);
+    EXPECT_EQ(forced_plan.chosen_strategy(), s);
+    // Both replays must match the eager contraction bit for bit.
+    const Tensor eager = contract_network(net, direct);
+    PlanWorkspace ws;
+    EXPECT_TRUE(same_bits(eager, direct_plan.execute(net, ws))) << order_strategy_name(s);
+    EXPECT_TRUE(same_bits(eager, forced_plan.execute(net, ws))) << order_strategy_name(s);
+  }
+}
+
+TEST(Portfolio, StatsRecordChosenStrategyAndCandidateFlops) {
+  const Network net = ladder_network(32);
+  ContractStats stats;
+  const ContractionPlan plan = ContractionPlan::compile(net, {}, &stats);
+  EXPECT_EQ(stats.plans_compiled, 1u);
+  const std::size_t winner = static_cast<std::size_t>(plan.chosen_strategy());
+  EXPECT_EQ(stats.strategy_chosen[winner], 1u);
+  // Every surviving portfolio attempt records its candidate cost, and the
+  // winner's recorded cost is exactly the kept schedule's.
+  EXPECT_EQ(stats.strategy_flops[winner], plan.total_flops());
+  std::size_t attempts = 0;
+  for (std::size_t s = 0; s < kNumOrderStrategies; ++s)
+    if (stats.strategy_flops[s] != 0) ++attempts;
+  EXPECT_GE(attempts, 2u);  // more than one strategy actually ran
+  // A direct (non-portfolio) compile records exactly its own strategy.
+  ContractStats direct_stats;
+  ContractOptions direct;
+  direct.strategy = OrderStrategy::Sequential;
+  const ContractionPlan seq = ContractionPlan::compile(net, direct, &direct_stats);
+  const std::size_t si = static_cast<std::size_t>(OrderStrategy::Sequential);
+  EXPECT_EQ(direct_stats.strategy_chosen[si], 1u);
+  EXPECT_EQ(direct_stats.strategy_flops[si], seq.total_flops());
+}
+
+TEST(Portfolio, TinyDeadlineRaisesTimeoutWithinBoundedLatency) {
+  // The planning deadline is polled inside every strategy's inner loop, so
+  // an already-expired deadline must surface promptly even on a network
+  // where a full portfolio compile does real work -- not after the current
+  // strategy (or the whole portfolio) finishes.
+  const Network net = qaoa_amplitude_network();
+  ContractOptions opts;
+  opts.timeout_seconds = 1e-9;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(ContractionPlan::compile(net, opts), TimeoutError);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  // Generous bound: orders of magnitude below a full compile of this
+  // network but far above any single inner-loop iteration.
+  EXPECT_LT(elapsed, 2.0);
 }
 
 /// Random variant tensors for the ladder's varying slots and a helper that

@@ -118,6 +118,51 @@ TEST(PlanCache, DifferentContractOptionsMiss) {
   EXPECT_EQ(cache.size(), 4u);  // two template entries per option set
 }
 
+TEST(PlanCache, PortfolioKnobsChangeTheTemplateKey) {
+  const ch::NoisyCircuit nc = workload(615);
+  const std::vector<std::uint64_t> vb = bitstrings(16, 4, 7);
+  PlanCache cache;
+  ApproxOptions opts;
+  opts.level = 1;
+  opts.eval = tn_eval();
+  opts.plan_cache = &cache;
+  (void)approximate_fidelity_outputs(nc, 0, vb, opts);
+
+  // Disabling the portfolio changes the planner configuration, so the
+  // template key must miss: a greedy-only plan may legitimately differ
+  // from the portfolio's pick, and serving either under the other's key
+  // would break replay determinism.
+  ApproxOptions off = opts;
+  off.eval.tn.portfolio = false;
+  const ApproxBatchResult r_off = approximate_fidelity_outputs(nc, 0, vb, off);
+  EXPECT_EQ(r_off.contract_stats.plan_cache_hits, 0u);
+  EXPECT_EQ(r_off.contract_stats.plan_cache_misses, 4u);
+
+  // So do a narrower strategy subset and a different restart count.
+  ApproxOptions subset = opts;
+  subset.eval.tn.portfolio_strategies = {tn::OrderStrategy::Greedy};
+  const ApproxBatchResult r_subset = approximate_fidelity_outputs(nc, 0, vb, subset);
+  EXPECT_EQ(r_subset.contract_stats.plan_cache_hits, 0u);
+
+  ApproxOptions restarts = opts;
+  restarts.eval.tn.random_restarts = 2;
+  const ApproxBatchResult r_restarts = approximate_fidelity_outputs(nc, 0, vb, restarts);
+  EXPECT_EQ(r_restarts.contract_stats.plan_cache_hits, 0u);
+
+  // A warm repeat of the original options still hits everything and stays
+  // bitwise-equal to a cache-free run with the portfolio on.
+  const ApproxBatchResult warm = approximate_fidelity_outputs(nc, 0, vb, opts);
+  EXPECT_EQ(warm.contract_stats.plan_cache_hits, 4u);
+  EXPECT_EQ(warm.contract_stats.plans_compiled, 0u);
+  ApproxOptions no_cache = opts;
+  no_cache.plan_cache = nullptr;
+  const ApproxBatchResult cold = approximate_fidelity_outputs(nc, 0, vb, no_cache);
+  for (std::size_t o = 0; o < vb.size(); ++o) {
+    EXPECT_EQ(cold.raw[o].real(), warm.raw[o].real());
+    EXPECT_EQ(cold.raw[o].imag(), warm.raw[o].imag());
+  }
+}
+
 TEST(PlanCache, DifferentSlotLayoutsMissOnBatchedPlansOnly) {
   const ch::NoisyCircuit nc = workload(607);
   const std::vector<std::uint64_t> vb = bitstrings(16, 4, 4);

@@ -324,7 +324,10 @@ struct EnvGuard {
 
 TEST(ResolveThreads, RejectsNonNumericAndNonPositiveValuesNamingTheVariable) {
   EnvGuard guard("NOISIM_THREADS");
-  for (const char* bad : {"abc", "-3", "0", "4x", ""}) {
+  // " 5" (leading whitespace) and the 20-digit value (ERANGE saturation)
+  // were silently reinterpreted before the strict-grammar fix; both must
+  // now fail the same loud way as the always-rejected inputs.
+  for (const char* bad : {"abc", "-3", "0", "4x", "", " 5", "\t5", "99999999999999999999"}) {
     ::setenv("NOISIM_THREADS", bad, 1);
     try {
       sim::resolve_threads(0);
@@ -333,6 +336,21 @@ TEST(ResolveThreads, RejectsNonNumericAndNonPositiveValuesNamingTheVariable) {
       EXPECT_NE(std::string(e.what()).find("NOISIM_THREADS"), std::string::npos) << e.what();
     }
   }
+}
+
+TEST(ParsePositiveInt, StrictGrammarRejectsWhitespaceAndOutOfRangeInput) {
+  EXPECT_EQ(support::parse_positive_int("5"), 5);
+  EXPECT_EQ(support::parse_positive_int("+12"), 12);
+  // Leading whitespace: strtol would skip it; the strict grammar must not.
+  EXPECT_FALSE(support::parse_positive_int(" 5").has_value());
+  EXPECT_FALSE(support::parse_positive_int("\t5").has_value());
+  EXPECT_FALSE(support::parse_positive_int("\n5").has_value());
+  // Out-of-range: strtol saturates to LONG_MAX/LONG_MIN with errno ==
+  // ERANGE; the grammar rejects instead of handing back the saturated value.
+  EXPECT_FALSE(support::parse_positive_int("99999999999999999999").has_value());
+  EXPECT_FALSE(support::parse_positive_int("-99999999999999999999").has_value());
+  EXPECT_FALSE(support::parse_positive_int(nullptr).has_value());
+  EXPECT_FALSE(support::parse_positive_int("5 ").has_value());
 }
 
 TEST(ResolveThreads, AcceptsPositiveIntegersAndIgnoresEnvWhenRequested) {
